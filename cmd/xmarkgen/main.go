@@ -1,0 +1,47 @@
+// Command xmarkgen emits a pseudo-random XMark-like auction document,
+// the reproduction stand-in for the original xmlgen generator.
+//
+// Usage:
+//
+//	xmarkgen [-factor F] [-seed N] [-o FILE] [-validate]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"xqindep/internal/xmark"
+)
+
+func main() {
+	var (
+		factor   = flag.Float64("factor", 1.0, "scale factor (1.0 ≈ hundreds of kilobytes)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		outFile  = flag.String("o", "", "output file (default stdout)")
+		validate = flag.Bool("validate", false, "validate the document against the XMark DTD before writing")
+	)
+	flag.Parse()
+
+	tree := xmark.GenerateDocument(*seed, *factor)
+	if *validate {
+		if err := xmark.Schema().Validate(tree); err != nil {
+			fmt.Fprintln(os.Stderr, "xmarkgen: generated document invalid:", err)
+			os.Exit(1)
+		}
+	}
+	out := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	fmt.Fprintln(w, tree.Store.String(tree.Root))
+}

@@ -1,0 +1,157 @@
+// Command xqindep decides XML query-update independence for a schema.
+//
+// Usage:
+//
+//	xqindep -schema FILE -query QUERY -update UPDATE [-method M] [-explain]
+//
+// The schema file may use compact ("a <- (b | c)*") or classic
+// <!ELEMENT> notation. Methods: chains (default, the CDAG engine),
+// chains-exact, types, paths, or all.
+//
+// Exit status: 0 when independence is detected, 1 when it is not,
+// 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xqindep"
+	"xqindep/internal/core"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		schemaFile  = flag.String("schema", "", "schema file (compact or <!ELEMENT> notation)")
+		queryText   = flag.String("query", "", "query expression")
+		updateText  = flag.String("update", "", "update expression")
+		update2Text = flag.String("update2", "", "second update: check commutativity instead of independence")
+		methodName  = flag.String("method", "chains", "analysis: chains, chains-exact, types, paths, or all")
+		explain     = flag.Bool("explain", false, "print the inferred chains")
+		preserveU   = flag.Bool("preserve", false, "also check whether the update preserves the schema")
+	)
+	flag.Parse()
+	if *schemaFile == "" || *updateText == "" || (*queryText == "" && *update2Text == "") {
+		fmt.Fprintln(os.Stderr, "usage: xqindep -schema FILE -update UPDATE (-query QUERY | -update2 UPDATE) [-method M] [-explain] [-preserve]")
+		flag.PrintDefaults()
+		return 2
+	}
+	schemaBytes, err := os.ReadFile(*schemaFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqindep:", err)
+		return 2
+	}
+	schema, err := xqindep.ParseSchema(string(schemaBytes))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqindep:", err)
+		return 2
+	}
+	u, err := xqindep.ParseUpdate(*updateText)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqindep: update:", err)
+		return 2
+	}
+	if *preserveU {
+		ok, reasons := schema.PreservesSchema(u)
+		if ok {
+			fmt.Println("schema-preservation: GUARANTEED")
+		} else {
+			fmt.Println("schema-preservation: cannot be guaranteed")
+			for _, r := range reasons {
+				fmt.Printf("  %s\n", r)
+			}
+		}
+	}
+	if *update2Text != "" {
+		u2, err := xqindep.ParseUpdate(*update2Text)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xqindep: update2:", err)
+			return 2
+		}
+		ok, err := schema.Commute(u, u2)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xqindep:", err)
+			return 2
+		}
+		if ok {
+			fmt.Println("commutativity: COMMUTE")
+			return 0
+		}
+		fmt.Println("commutativity: possibly order-dependent")
+		return 1
+	}
+	q, err := xqindep.ParseQuery(*queryText)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqindep: query:", err)
+		return 2
+	}
+
+	var methods []xqindep.Method
+	if *methodName == "all" {
+		methods = []xqindep.Method{xqindep.Chains, xqindep.ChainsExact, xqindep.Types, xqindep.Paths}
+	} else {
+		m, err := core.ParseMethod(*methodName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xqindep:", err)
+			return 2
+		}
+		methods = []xqindep.Method{m}
+	}
+
+	independent := true
+	for _, m := range methods {
+		rep, err := schema.Analyze(q, u, m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xqindep:", err)
+			return 2
+		}
+		verdict := "INDEPENDENT"
+		if !rep.Independent {
+			verdict = "possibly DEPENDENT"
+		}
+		fmt.Printf("%-12s  %-18s", m, verdict)
+		if rep.K > 0 {
+			fmt.Printf("  k=%d", rep.K)
+		}
+		fmt.Printf("  (%s)\n", rep.Elapsed.Round(10_000))
+		for _, w := range rep.Witnesses {
+			fmt.Printf("    conflict: %s\n", w)
+		}
+		if m == methods[0] {
+			independent = rep.Independent
+		}
+	}
+	if *explain {
+		ev, err := schema.ExplainChains(q, u)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xqindep:", err)
+			return 2
+		}
+		fmt.Printf("\nchains (k=%d):\n", ev.K)
+		printChains("return", ev.Return)
+		printChains("used", ev.Used)
+		printChains("element", ev.Element)
+		printChains("update", ev.Update)
+	}
+	if independent {
+		return 0
+	}
+	return 1
+}
+
+func printChains(label string, chains []string) {
+	fmt.Printf("  %-8s", label)
+	if len(chains) == 0 {
+		fmt.Println("(none)")
+		return
+	}
+	fmt.Println()
+	for _, c := range chains {
+		fmt.Printf("    %s\n", c)
+	}
+}

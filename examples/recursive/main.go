@@ -1,0 +1,104 @@
+// Recursive schemas and the finite k-chain analysis (Section 5 of the
+// paper). Over a recursive DTD the chain universe is infinite; the
+// analyzer derives a multiplicity k = kq + ku from the expressions
+// (Table 3) and reasons over k-chains only — provably equivalent to
+// the infinite analysis. This example shows why max(kq, ku) would be
+// wrong, on the paper's own d1 schema.
+//
+// Run with: go run ./examples/recursive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xqindep"
+)
+
+func main() {
+	// The Section 5 schema d1: five mutually recursive types.
+	schema, err := xqindep.ParseSchema(`
+r <- a
+a <- (b, c, e)*
+b <- f
+c <- f
+e <- f
+f <- a, g
+g <- ()
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schema d1 is recursive:", schema.IsRecursive())
+
+	// The paper's pair: q = /descendant::b, u = delete /descendant::c.
+	// Both have kq = ku = 1; with k = max = 1 the representative chains
+	// r.a.b and r.a:c would not conflict — yet the pair is dependent
+	// (a deletion can remove a c node above a b node). k = kq+ku = 2
+	// captures the interleaving r.a.c.f.a.b.
+	q := xqindep.MustParseQuery("/descendant::b")
+	u := xqindep.MustParseUpdate("delete /descendant::c")
+	rep, err := schema.Analyze(q, u, xqindep.Chains)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s  vs  %s\n", q, u)
+	fmt.Printf("  k = kq + ku = %d → %s\n", rep.K, verdict(rep.Independent))
+	ev, _ := schema.ExplainChains(q, u)
+	fmt.Printf("  query chains:  %v\n", head(ev.Return, 4))
+	fmt.Printf("  update chains: %v\n", head(ev.Update, 4))
+
+	// A genuinely independent pair on the same recursive schema: g
+	// leaves under e-branches vs deleting b-branches... b and e are
+	// sibling types below a, so /r/a/e is untouched by delete /r/a/b.
+	q2 := xqindep.MustParseQuery("/r/a/e")
+	u2 := xqindep.MustParseUpdate("delete /r/a/b")
+	rep2, err := schema.Analyze(q2, u2, xqindep.Chains)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s  vs  %s\n", q2, u2)
+	fmt.Printf("  k = %d → %s\n", rep2.K, verdict(rep2.Independent))
+
+	// Sanity-check both verdicts against execution on generated
+	// documents of the recursive schema.
+	for seed := int64(0); seed < 5; seed++ {
+		doc, err := schema.Generate(seed, 0.6, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok2, err := xqindep.IndependentOn(doc, q2, u2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok2 {
+			log.Fatalf("UNSOUND claim on seed %d", seed)
+		}
+	}
+	fmt.Println("\nruntime spot-check over 5 generated documents: all consistent")
+
+	// The Section 5 path example: /r/a/b/f/a needs k = 2 (tag a occurs
+	// twice); with the pair below, k = kq+ku = 3 and the analysis still
+	// terminates instantly despite the infinite chain universe.
+	q3 := xqindep.MustParseQuery("/r/a/b/f/a")
+	u3 := xqindep.MustParseUpdate("delete /descendant::g")
+	rep3, err := schema.Analyze(q3, u3, xqindep.Chains)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s  vs  %s\n  k = %d → %s (in %v)\n", q3, u3, rep3.K, verdict(rep3.Independent), rep3.Elapsed)
+}
+
+func verdict(indep bool) string {
+	if indep {
+		return "INDEPENDENT"
+	}
+	return "possibly dependent"
+}
+
+func head(ss []string, n int) []string {
+	if len(ss) <= n {
+		return ss
+	}
+	return append(append([]string{}, ss[:n]...), "…")
+}

@@ -1,0 +1,3 @@
+module xqindep
+
+go 1.22

@@ -1,0 +1,53 @@
+package cdag
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"xqindep/internal/xquery"
+)
+
+func TestDot(t *testing.T) {
+	e := NewEngine(figure2, 2, 0)
+	qc := e.Query(e.RootEnv(), xquery.MustParseQuery("//c/e"))
+	dot := qc.Ret.Dot("q1")
+	for _, want := range []string{
+		"digraph \"q1\"",
+		`"0:a"`, `"2:c"`, `"3:e"`,
+		"doublecircle", // the endpoint
+		"->",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q:\n%s", want, dot)
+		}
+	}
+	// The Figure 2 property: no artifact edge towards f in q1's DAG.
+	if strings.Contains(dot, `"3:f"`) {
+		t.Errorf("q1 DAG contains f: %s", dot)
+	}
+	// Deterministic output.
+	if dot != qc.Ret.Dot("q1") {
+		t.Errorf("Dot not deterministic")
+	}
+}
+
+func TestEndpointParents(t *testing.T) {
+	e := NewEngine(figure1, 1, 0)
+	qc := e.Query(e.RootEnv(), xquery.MustParseQuery("//c"))
+	eps := qc.Ret.EndpointParents()
+	if len(eps) != 1 {
+		t.Fatalf("endpoints = %v", eps)
+	}
+	if eps[0].Sym != "c" || eps[0].IsRoot {
+		t.Errorf("endpoint = %+v", eps[0])
+	}
+	if !reflect.DeepEqual(eps[0].Parents, []string{"a", "b"}) {
+		t.Errorf("parents = %v", eps[0].Parents)
+	}
+	// Root endpoint.
+	root := e.RootSet().EndpointParents()
+	if len(root) != 1 || !root[0].IsRoot || root[0].Sym != "doc" {
+		t.Errorf("root endpoint = %+v", root)
+	}
+}

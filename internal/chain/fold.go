@@ -1,0 +1,97 @@
+package chain
+
+// This file implements the folding relation ↪→d of Section 5:
+//
+//	↪→d = { (c1, c2) | c1 = c.a.c'.a.c''  ∧  c2 = c.a.c'' }
+//
+// where a is a recursive type of the schema. Folding removes one
+// recursive "loop" from a chain; its reflexive-transitive closure maps
+// every chain inferred for an expression to a representative k-chain
+// (Lemma 5.2), which is what makes the finite analysis complete
+// relative to the infinite one.
+
+// FoldSteps returns every chain obtainable from c by a single folding
+// step on a recursive type: pick two occurrences of a recursive type a
+// and splice out the segment between them (keeping the first a).
+func FoldSteps(c Chain, recursive map[string]bool) []Chain {
+	var out []Chain
+	for i := 0; i < len(c); i++ {
+		if !recursive[c[i]] {
+			continue
+		}
+		for j := i + 1; j < len(c); j++ {
+			if c[j] != c[i] {
+				continue
+			}
+			// c = c[0:i] . a . c' . a . c'' with the second a at j;
+			// fold to c[0:i] . a . c''.
+			folded := make(Chain, 0, len(c)-(j-i))
+			folded = append(folded, c[:i+1]...)
+			folded = append(folded, c[j+1:]...)
+			out = append(out, folded)
+		}
+	}
+	return out
+}
+
+// FoldToK folds c repeatedly until it is a k-chain, greedily removing
+// the longest loops first. It returns nil when no sequence of foldings
+// reaches a k-chain (which cannot happen for k ≥ 1 when every
+// over-multiplied tag is recursive, per Lemma 5.2).
+func FoldToK(c Chain, recursive map[string]bool, k int) Chain {
+	if c.IsKChain(k) {
+		return c.Clone()
+	}
+	seen := map[string]bool{c.String(): true}
+	frontier := []Chain{c}
+	for len(frontier) > 0 {
+		var next []Chain
+		for _, cur := range frontier {
+			for _, f := range FoldSteps(cur, recursive) {
+				if f.IsKChain(k) {
+					return f
+				}
+				key := f.String()
+				if !seen[key] {
+					seen[key] = true
+					next = append(next, f)
+				}
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// FoldsTo reports c1 ↪→*d c2: c2 is reachable from c1 by zero or more
+// folding steps.
+func FoldsTo(c1, c2 Chain, recursive map[string]bool) bool {
+	if c1.Equal(c2) {
+		return true
+	}
+	if len(c2) >= len(c1) {
+		return false
+	}
+	seen := map[string]bool{c1.String(): true}
+	frontier := []Chain{c1}
+	for len(frontier) > 0 {
+		var next []Chain
+		for _, cur := range frontier {
+			for _, f := range FoldSteps(cur, recursive) {
+				if f.Equal(c2) {
+					return true
+				}
+				if len(f) <= len(c2) {
+					continue
+				}
+				key := f.String()
+				if !seen[key] {
+					seen[key] = true
+					next = append(next, f)
+				}
+			}
+		}
+		frontier = next
+	}
+	return false
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xqindep/internal/dtd"
+	"xqindep/internal/eval"
+	"xqindep/internal/xmltree"
+	"xqindep/internal/xquery"
+)
+
+// TestRandomizedSoundness is the repository's strongest validation:
+// random (small) queries and updates are generated over fixed schemas,
+// every analysis method is run, and any "independent" verdict is
+// cross-checked by differential execution on a pool of random valid
+// documents. A failure here means a hole in an inference rule.
+func TestRandomizedSoundness(t *testing.T) {
+	schemas := []*dtd.DTD{
+		dtd.MustParse("doc <- (a | b)*\na <- c\nb <- c\nc <- ()"),
+		dtd.MustParse(`
+root <- x*, y*
+x <- a?, b?
+y <- z*
+a <- #PCDATA
+b <- ()
+z <- a?
+`),
+		dtd.MustParse(`
+r <- a
+a <- (b | c)*
+b <- a?
+c <- #PCDATA
+`),
+	}
+	const (
+		pairsPerSchema = 300
+		docsPerSchema  = 8
+	)
+	rng := rand.New(rand.NewSource(812))
+	for si, d := range schemas {
+		g := &exprGen{rng: rng, tags: d.Types}
+		var docs []xmltree.Tree
+		for i := 0; i < docsPerSchema; i++ {
+			tr, err := d.GenerateTree(rng, 0.6, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			docs = append(docs, tr)
+		}
+		a := NewAnalyzer(d)
+		for p := 0; p < pairsPerSchema; p++ {
+			q := g.query(2, []string{xquery.RootVar})
+			u := g.update(2, []string{xquery.RootVar})
+			for _, m := range []Method{MethodChains, MethodChainsExact, MethodTypes, MethodPaths} {
+				res, err := a.Analyze(q, u, m)
+				if err != nil {
+					t.Fatalf("schema %d: Analyze(%v) on random pair: %v\nq = %s\nu = %s", si, m, err, q, u)
+				}
+				if !res.Independent {
+					continue
+				}
+				if i := eval.DependentOnAny(docs, q, u); i >= 0 {
+					// The technique's contract (paper §2/§4): updates are
+					// assumed schema-preserving; only deletions are
+					// covered unconditionally. A counterexample whose
+					// updated document is invalid is outside the
+					// contract for non-delete updates.
+					if !deleteOnly(u) && !validAfter(d, docs[i], u) {
+						continue
+					}
+					t.Errorf("schema %d: UNSOUND %v verdict\n  q = %s\n  u = %s\n  doc = %s",
+						si, m, q, u, docs[i].Store.String(docs[i].Root))
+				}
+			}
+		}
+	}
+}
+
+// deleteOnly reports whether u performs no inserts, renames or
+// replaces — the class of updates the analysis covers even when the
+// schema is violated (no new chains are created).
+func deleteOnly(u xquery.Update) bool {
+	switch n := u.(type) {
+	case xquery.UEmpty, xquery.Delete:
+		return true
+	case xquery.USeq:
+		return deleteOnly(n.Left) && deleteOnly(n.Right)
+	case xquery.UIf:
+		return deleteOnly(n.Then) && deleteOnly(n.Else)
+	case xquery.UFor:
+		return deleteOnly(n.Body)
+	case xquery.ULet:
+		return deleteOnly(n.Body)
+	default:
+		return false
+	}
+}
+
+// validAfter applies u to a copy of doc and reports whether the result
+// still satisfies the schema.
+func validAfter(d *dtd.DTD, doc xmltree.Tree, u xquery.Update) bool {
+	s := xmltree.NewStore()
+	root := s.Copy(doc.Store, doc.Root)
+	if err := eval.Update(s, eval.RootEnv(root), u); err != nil {
+		return true // runtime error: the run does not count
+	}
+	return d.IsValid(xmltree.NewTree(s, root))
+}
+
+// exprGen builds random expressions of the fragment.
+type exprGen struct {
+	rng   *rand.Rand
+	tags  []string
+	fresh int
+}
+
+func (g *exprGen) tag() string { return g.tags[g.rng.Intn(len(g.tags))] }
+
+func (g *exprGen) freshVar() string {
+	g.fresh++
+	return fmt.Sprintf("$f%d", g.fresh)
+}
+
+func (g *exprGen) axis() xquery.Axis {
+	axes := []xquery.Axis{
+		xquery.Self, xquery.Child, xquery.Child, xquery.Descendant,
+		xquery.DescendantOrSelf, xquery.Parent, xquery.Ancestor,
+		xquery.AncestorOrSelf, xquery.PrecedingSibling, xquery.FollowingSibling,
+	}
+	return axes[g.rng.Intn(len(axes))]
+}
+
+func (g *exprGen) test() xquery.NodeTest {
+	switch g.rng.Intn(5) {
+	case 0:
+		return xquery.AnyNode()
+	case 1:
+		return xquery.Wildcard()
+	case 2:
+		return xquery.Text()
+	default:
+		return xquery.Tag(g.tag())
+	}
+}
+
+func (g *exprGen) step(vars []string) xquery.Query {
+	return xquery.Step{Var: vars[g.rng.Intn(len(vars))], Axis: g.axis(), Test: g.test()}
+}
+
+func (g *exprGen) query(depth int, vars []string) xquery.Query {
+	if depth <= 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return xquery.Empty{}
+		case 1:
+			return xquery.StringLit{Value: "s"}
+		default:
+			return g.step(vars)
+		}
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		return xquery.Sequence{Left: g.query(depth-1, vars), Right: g.query(depth-1, vars)}
+	case 1:
+		v := g.freshVar()
+		return xquery.For{Var: v, In: g.query(depth-1, vars), Return: g.query(depth-1, append(vars, v))}
+	case 2:
+		v := g.freshVar()
+		return xquery.Let{Var: v, Bind: g.query(depth-1, vars), Return: g.query(depth-1, append(vars, v))}
+	case 3:
+		return xquery.If{Cond: g.query(depth-1, vars), Then: g.query(depth-1, vars), Else: g.query(depth-1, vars)}
+	case 4:
+		return xquery.Element{Tag: g.tag(), Content: g.query(depth-1, vars)}
+	default:
+		return g.step(vars)
+	}
+}
+
+// update builds a random update; targets of insert/rename/replace are
+// wrapped in a for-loop so the single-target rule rarely trips at
+// runtime (multi-target runs are skipped by the oracle anyway).
+func (g *exprGen) update(depth int, vars []string) xquery.Update {
+	if depth <= 0 {
+		return g.primitive(vars)
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return xquery.USeq{Left: g.update(depth-1, vars), Right: g.update(depth-1, vars)}
+	case 1:
+		v := g.freshVar()
+		return xquery.UFor{Var: v, In: g.query(depth-1, vars), Body: g.update(depth-1, append(vars, v))}
+	case 2:
+		v := g.freshVar()
+		return xquery.ULet{Var: v, Bind: g.query(depth-1, vars), Body: g.update(depth-1, append(vars, v))}
+	case 3:
+		return xquery.UIf{Cond: g.query(depth-1, vars), Then: g.update(depth-1, vars), Else: g.update(depth-1, vars)}
+	default:
+		return g.primitive(vars)
+	}
+}
+
+func (g *exprGen) primitive(vars []string) xquery.Update {
+	v := g.freshVar()
+	in := g.query(1, vars)
+	inner := append(vars, v)
+	target := xquery.Query(xquery.Var{Name: v})
+	var body xquery.Update
+	switch g.rng.Intn(4) {
+	case 0:
+		body = xquery.Delete{Target: g.query(1, inner)}
+	case 1:
+		body = xquery.Rename{Target: target, As: g.tag()}
+	case 2:
+		poss := []xquery.InsertPos{xquery.Into, xquery.IntoFirst, xquery.IntoLast, xquery.Before, xquery.After}
+		body = xquery.Insert{
+			Source: g.query(1, inner),
+			Pos:    poss[g.rng.Intn(len(poss))],
+			Target: target,
+		}
+	default:
+		body = xquery.Replace{Target: target, Source: g.query(1, inner)}
+	}
+	return xquery.UFor{Var: v, In: in, Body: body}
+}

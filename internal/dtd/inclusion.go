@@ -1,0 +1,260 @@
+package dtd
+
+import "sort"
+
+// This file provides regular-language inclusion over content models,
+// the machinery behind the static schema-preservation checker
+// (package preserve): L(candidate) ⊆ L(model) is decided by running
+// the candidate NFA against the determinised complement of the model.
+
+// dfa is a deterministic automaton over an explicit alphabet; moves
+// outside the alphabet go to the implicit dead state.
+type dfa struct {
+	alphabet []string
+	// trans[state][symbol index] = next state; -1 = dead.
+	trans  [][]int
+	accept []bool
+}
+
+// determinize builds a DFA for the NFA by subset construction over the
+// given alphabet.
+func (n *nfa) determinize(alphabet []string) *dfa {
+	type stateSet string // canonical key
+	key := func(set map[int]bool) stateSet {
+		states := make([]int, 0, len(set))
+		for s := range set {
+			states = append(states, s)
+		}
+		sort.Ints(states)
+		b := make([]byte, 0, len(states)*3)
+		for _, s := range states {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16))
+		}
+		return stateSet(b)
+	}
+	start := map[int]bool{0: true}
+	n.closure(start)
+	d := &dfa{alphabet: alphabet}
+	ids := map[stateSet]int{}
+	var sets []map[int]bool
+	add := func(set map[int]bool) int {
+		k := key(set)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := len(sets)
+		ids[k] = id
+		sets = append(sets, set)
+		d.trans = append(d.trans, make([]int, len(alphabet)))
+		for i := range d.trans[id] {
+			d.trans[id][i] = -1
+		}
+		d.accept = append(d.accept, set[n.accept])
+		return id
+	}
+	add(start)
+	for work := 0; work < len(sets); work++ {
+		cur := sets[work]
+		for ai, sym := range alphabet {
+			next := make(map[int]bool)
+			for s := range cur {
+				if n.symTo[s] >= 0 && n.symLbl[s] == sym {
+					next[n.symTo[s]] = true
+				}
+			}
+			if len(next) == 0 {
+				continue
+			}
+			n.closure(next)
+			d.trans[work][ai] = add(next)
+		}
+	}
+	return d
+}
+
+// includedIn reports whether every word accepted by the NFA (over the
+// DFA's alphabet — symbols outside it make the word rejected by the
+// DFA, hence a counterexample) is accepted by the DFA.
+func (n *nfa) includedIn(d *dfa) bool {
+	idx := make(map[string]int, len(d.alphabet))
+	for i, s := range d.alphabet {
+		idx[s] = i
+	}
+	type pair struct {
+		nKey string
+		dSt  int // -1 = dead
+	}
+	nStart := map[int]bool{0: true}
+	n.closure(nStart)
+	canon := func(set map[int]bool) string {
+		states := make([]int, 0, len(set))
+		for s := range set {
+			states = append(states, s)
+		}
+		sort.Ints(states)
+		b := make([]byte, 0, len(states)*3)
+		for _, s := range states {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16))
+		}
+		return string(b)
+	}
+	type item struct {
+		nSet map[int]bool
+		dSt  int
+	}
+	seen := map[pair]bool{}
+	queue := []item{{nStart, 0}}
+	seen[pair{canon(nStart), 0}] = true
+	for len(queue) > 0 {
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		// If the NFA accepts here and the DFA does not, inclusion fails.
+		if cur.nSet[n.accept] && (cur.dSt < 0 || !d.accept[cur.dSt]) {
+			return false
+		}
+		// Group NFA moves by symbol.
+		moves := map[string]map[int]bool{}
+		for s := range cur.nSet {
+			if n.symTo[s] >= 0 {
+				m := moves[n.symLbl[s]]
+				if m == nil {
+					m = map[int]bool{}
+					moves[n.symLbl[s]] = m
+				}
+				m[n.symTo[s]] = true
+			}
+		}
+		for sym, next := range moves {
+			n.closure(next)
+			dNext := -1
+			if cur.dSt >= 0 {
+				if ai, ok := idx[sym]; ok {
+					dNext = d.trans[cur.dSt][ai]
+				}
+			}
+			p := pair{canon(next), dNext}
+			if !seen[p] {
+				seen[p] = true
+				queue = append(queue, item{next, dNext})
+			}
+		}
+	}
+	return true
+}
+
+// Included reports L(r1) ⊆ L(r2): every word the candidate generates
+// is allowed by the model.
+func Included(candidate, model *Regex) bool {
+	alpha := map[string]bool{}
+	candidate.Symbols(alpha)
+	model.Symbols(alpha)
+	alphabet := make([]string, 0, len(alpha))
+	for s := range alpha {
+		alphabet = append(alphabet, s)
+	}
+	sort.Strings(alphabet)
+	nf := compileNFA(candidate)
+	df := compileNFA(model).determinize(alphabet)
+	return nf.includedIn(df)
+}
+
+// InsertionSafe reports whether interleaving any number of the given
+// symbols anywhere into any word of r always yields a word of r — the
+// shuffle L(r) ⧢ T* ⊆ L(r). The shuffle NFA is r's NFA with self-loops
+// on every T symbol at every state; since Thompson states carry at
+// most one symbol transition, the loops are added via fresh states.
+func InsertionSafe(r *Regex, tags []string) bool {
+	if len(tags) == 0 {
+		return true
+	}
+	n := compileNFA(r)
+	states := len(n.eps)
+	for st := 0; st < states; st++ {
+		for _, tg := range tags {
+			// st --tg--> st, encoded as st -ε-> fresh -tg-> fresh2 -ε-> st.
+			f1 := n.addState()
+			f2 := n.addState()
+			n.addEps(st, f1)
+			n.addSym(f1, tg, f2)
+			n.addEps(f2, st)
+		}
+	}
+	alpha := map[string]bool{}
+	r.Symbols(alpha)
+	for _, tg := range tags {
+		alpha[tg] = true
+	}
+	alphabet := make([]string, 0, len(alpha))
+	for s := range alpha {
+		alphabet = append(alphabet, s)
+	}
+	sort.Strings(alphabet)
+	df := compileNFA(r).determinize(alphabet)
+	return n.includedIn(df)
+}
+
+// DeletionSafe reports whether removing any subset of α occurrences
+// from any word of r always yields a word of r: L(subst(r, α → α?))
+// ⊆ L(r).
+func DeletionSafe(r *Regex, alpha string) bool {
+	return Included(substOpt(r, alpha), r)
+}
+
+// ReplaceSafe reports whether replacing any subset of α occurrences by
+// the exact word w (in place) always yields a word of r:
+// L(subst(r, α → α | w)) ⊆ L(r).
+func ReplaceSafe(r *Regex, alpha string, w []string) bool {
+	repl := make([]*Regex, len(w))
+	for i, s := range w {
+		repl[i] = Sym(s)
+	}
+	cand := mapSyms(r, func(s string) *Regex {
+		if s == alpha {
+			return Alt(Sym(alpha), Seq(repl...))
+		}
+		return Sym(s)
+	})
+	return Included(cand, r)
+}
+
+// RenameSafe reports whether renaming any subset of α occurrences to β
+// in any word of r always yields a word of r:
+// L(subst(r, α → α|β)) ⊆ L(r).
+func RenameSafe(r *Regex, alpha, beta string) bool {
+	return Included(substAlt(r, alpha, beta), r)
+}
+
+// substOpt replaces every occurrence of sym by sym?.
+func substOpt(r *Regex, sym string) *Regex {
+	return mapSyms(r, func(s string) *Regex {
+		if s == sym {
+			return Opt(Sym(s))
+		}
+		return Sym(s)
+	})
+}
+
+// substAlt replaces every occurrence of a by (a|b).
+func substAlt(r *Regex, a, b string) *Regex {
+	return mapSyms(r, func(s string) *Regex {
+		if s == a {
+			return Alt(Sym(a), Sym(b))
+		}
+		return Sym(s)
+	})
+}
+
+func mapSyms(r *Regex, f func(string) *Regex) *Regex {
+	switch r.Op {
+	case OpEpsilon:
+		return Epsilon()
+	case OpSym:
+		return f(r.Sym)
+	default:
+		kids := make([]*Regex, len(r.Kids))
+		for i, k := range r.Kids {
+			kids[i] = mapSyms(k, f)
+		}
+		return &Regex{Op: r.Op, Kids: kids}
+	}
+}

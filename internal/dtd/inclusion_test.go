@@ -1,0 +1,126 @@
+package dtd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func re(t *testing.T, s string) *Regex {
+	t.Helper()
+	r, err := parseRegex(s)
+	if err != nil {
+		t.Fatalf("parseRegex(%q): %v", s, err)
+	}
+	return r
+}
+
+func TestIncluded(t *testing.T) {
+	cases := []struct {
+		cand, model string
+		want        bool
+	}{
+		{"a", "a", true},
+		{"a", "a?", true},
+		{"a?", "a", false}, // ε not in L(a)
+		{"a, b", "a, b?", true},
+		{"a, b?", "a, b", false},
+		{"(a | b)*", "(a | b | c)*", true},
+		{"(a | b | c)*", "(a | b)*", false},
+		{"a+", "a*", true},
+		{"a*", "a+", false},
+		{"a, a", "a+", true},
+		{"a+", "a, a", false},
+		{"()", "a*", true},
+		{"b", "a*", false}, // symbol outside the model
+	}
+	for _, c := range cases {
+		if got := Included(re(t, c.cand), re(t, c.model)); got != c.want {
+			t.Errorf("Included(%q, %q) = %v, want %v", c.cand, c.model, got, c.want)
+		}
+	}
+}
+
+// TestIncludedAgainstSampling property-checks inclusion against word
+// sampling: if inclusion holds, every sampled candidate word must
+// match the model; if it fails, sampling should eventually find a
+// witness (not asserted — sampling is incomplete).
+func TestIncludedAgainstSampling(t *testing.T) {
+	exprs := []string{"a", "a?", "a, b", "(a | b)*", "a+", "(a, b?)+", "a, (b | c)*", "()"}
+	rng := rand.New(rand.NewSource(8))
+	for _, cs := range exprs {
+		for _, ms := range exprs {
+			cand, model := re(t, cs), re(t, ms)
+			if !Included(cand, model) {
+				continue
+			}
+			for i := 0; i < 100; i++ {
+				w := cand.Sample(rng, 0.5, nil)
+				if !model.Matches(w) {
+					t.Fatalf("Included(%q,%q) but word %v not in model", cs, ms, w)
+				}
+			}
+		}
+	}
+}
+
+func TestDeletionSafe(t *testing.T) {
+	cases := []struct {
+		model string
+		sym   string
+		want  bool
+	}{
+		{"a*", "a", true},
+		{"a+", "a", false}, // deleting the last a empties it
+		{"a?", "a", true},
+		{"a, b*", "b", true},
+		{"a, b*", "a", false},
+		{"(a | b)*", "a", true},
+		{"title, author*", "author", true},
+		{"title, author*", "title", false},
+	}
+	for _, c := range cases {
+		if got := DeletionSafe(re(t, c.model), c.sym); got != c.want {
+			t.Errorf("DeletionSafe(%q, %s) = %v, want %v", c.model, c.sym, got, c.want)
+		}
+	}
+}
+
+func TestInsertionSafe(t *testing.T) {
+	cases := []struct {
+		model string
+		tags  []string
+		want  bool
+	}{
+		{"a*", []string{"a"}, true},
+		{"a?", []string{"a"}, false}, // two a's break a?
+		{"(a | b)*", []string{"a", "b"}, true},
+		{"(a | b)*", []string{"c"}, false},
+		{"a, b*", []string{"b"}, false}, // b before a breaks order (arbitrary position)
+		{"b*, a", []string{"b"}, false},
+		{"(S | b)*", []string{"S"}, true},
+		{"a*", nil, true},
+	}
+	for _, c := range cases {
+		if got := InsertionSafe(re(t, c.model), c.tags); got != c.want {
+			t.Errorf("InsertionSafe(%q, %v) = %v, want %v", c.model, c.tags, got, c.want)
+		}
+	}
+}
+
+func TestRenameSafe(t *testing.T) {
+	cases := []struct {
+		model string
+		a, b  string
+		want  bool
+	}{
+		{"(a | b)*", "a", "b", true},
+		{"(a | b)*", "b", "a", true},
+		{"a, b", "a", "b", false},
+		{"(bold | keyword | emph)*", "bold", "emph", true},
+	}
+	for _, c := range cases {
+		if got := RenameSafe(re(t, c.model), c.a, c.b); got != c.want {
+			t.Errorf("RenameSafe(%q, %s→%s) = %v, want %v", c.model, c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package dtd
+
+import (
+	"fmt"
+
+	"xqindep/internal/xmltree"
+)
+
+// Validate checks t ∈ d: there must exist a typing ν assigning the
+// start symbol to the root, the string type to text nodes, and to each
+// element a type whose label matches its tag and whose content model
+// generates the word of its children's types. For plain DTDs the
+// typing is unique; for Extended DTDs it is found by bottom-up
+// candidate-set computation. A nil error means the tree is valid.
+func (d *DTD) Validate(t xmltree.Tree) error {
+	_, err := d.TypeAssignment(t)
+	return err
+}
+
+// IsValid reports t ∈ d.
+func (d *DTD) IsValid(t xmltree.Tree) bool { return d.Validate(t) == nil }
+
+// TypeAssignment computes a typing ν: dom(t) → Σ' ∪ {S} witnessing
+// validity of t, or an error describing the first violation found.
+func (d *DTD) TypeAssignment(t xmltree.Tree) (map[xmltree.Loc]string, error) {
+	s := t.Store
+	// typesByLabel caches the candidate types for each element label.
+	typesByLabel := make(map[string][]string)
+	for _, ty := range d.Types {
+		l := d.LabelOf(ty)
+		typesByLabel[l] = append(typesByLabel[l], ty)
+	}
+
+	// cand[l] = set of types that can be assigned to location l such
+	// that the subtree at l validates. Computed bottom-up (post-order).
+	cand := make(map[xmltree.Loc]map[string]bool, 16)
+	var compute func(l xmltree.Loc) error
+	compute = func(l xmltree.Loc) error {
+		if s.IsText(l) {
+			cand[l] = map[string]bool{StringType: true}
+			return nil
+		}
+		kids := s.Children(l)
+		for _, c := range kids {
+			if err := compute(c); err != nil {
+				return err
+			}
+		}
+		tag := s.Tag(l)
+		set := make(map[string]bool)
+		for _, ty := range typesByLabel[tag] {
+			ok := d.nfas[ty].matchWord(len(kids), func(i int, sym string) bool {
+				return cand[kids[i]][sym]
+			})
+			if ok {
+				set[ty] = true
+			}
+		}
+		if len(set) == 0 {
+			if len(typesByLabel[tag]) == 0 {
+				return fmt.Errorf("dtd: element <%s> has no declared type", tag)
+			}
+			return fmt.Errorf("dtd: children of <%s> match no content model of its types", tag)
+		}
+		cand[l] = set
+		return nil
+	}
+	if s.IsText(t.Root) {
+		return nil, fmt.Errorf("dtd: root is a text node")
+	}
+	if err := compute(t.Root); err != nil {
+		return nil, err
+	}
+	if !cand[t.Root][d.Start] {
+		return nil, fmt.Errorf("dtd: root <%s> cannot be typed by start symbol %q", s.Tag(t.Root), d.Start)
+	}
+
+	// Top-down pass: fix a concrete typing. At each element typed ty,
+	// re-run the content NFA and extract one accepting sequence of
+	// child types via backtracking over candidate sets.
+	nu := make(map[xmltree.Loc]string, len(cand))
+	var assign func(l xmltree.Loc, ty string) error
+	assign = func(l xmltree.Loc, ty string) error {
+		nu[l] = ty
+		if ty == StringType {
+			return nil
+		}
+		kids := s.Children(l)
+		choice, ok := d.nfas[ty].matchWordChoice(len(kids), func(i int, sym string) bool {
+			return cand[kids[i]][sym]
+		})
+		if !ok {
+			return fmt.Errorf("dtd: internal: no witness for <%s> as %s", s.Tag(l), ty)
+		}
+		for i, c := range kids {
+			if err := assign(c, choice[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := assign(t.Root, d.Start); err != nil {
+		return nil, err
+	}
+	return nu, nil
+}
+
+// matchWordChoice is matchWord but additionally reconstructs, for an
+// accepted word, one symbol chosen at each position.
+func (n *nfa) matchWordChoice(w int, symAt func(i int, sym string) bool) ([]string, bool) {
+	type layer struct {
+		states map[int]bool
+		// pred[s] records, for state s entered at this layer, the
+		// symbol consumed to reach it and the predecessor state of the
+		// previous layer.
+		predState map[int]int
+		predSym   map[int]string
+	}
+	layers := make([]layer, w+1)
+	cur := map[int]bool{0: true}
+	n.closure(cur)
+	layers[0] = layer{states: cur}
+	for i := 0; i < w; i++ {
+		next := make(map[int]bool)
+		ps := make(map[int]int)
+		py := make(map[int]string)
+		for s := range cur {
+			if n.symTo[s] >= 0 && symAt(i, n.symLbl[s]) {
+				t := n.symTo[s]
+				if !next[t] {
+					next[t] = true
+					ps[t] = s
+					py[t] = n.symLbl[s]
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil, false
+		}
+		// ε-closure, tracking which pre-closure state each new state
+		// came from so the consuming transition stays attributed.
+		var stack []int
+		origin := make(map[int]int)
+		for s := range next {
+			stack = append(stack, s)
+			origin[s] = s
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, t := range n.eps[s] {
+				if !next[t] {
+					next[t] = true
+					origin[t] = origin[s]
+					stack = append(stack, t)
+				}
+			}
+		}
+		for s, o := range origin {
+			if s != o {
+				ps[s] = ps[o]
+				py[s] = py[o]
+			}
+		}
+		layers[i+1] = layer{states: next, predState: ps, predSym: py}
+		cur = next
+	}
+	if !cur[n.accept] {
+		return nil, false
+	}
+	// Walk back from accept, collecting one symbol per layer.
+	out := make([]string, w)
+	st := n.accept
+	for i := w; i > 0; i-- {
+		out[i-1] = layers[i].predSym[st]
+		st = layers[i].predState[st]
+	}
+	return out, true
+}

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"xqindep/internal/dtd"
+	"xqindep/internal/xmltree"
+	"xqindep/internal/xquery"
+)
+
+// TestNormalizePreservesSemantics: the FLWR un-nesting used by the
+// CDAG engine must not change evaluation results (order included) on
+// any document.
+func TestNormalizePreservesSemantics(t *testing.T) {
+	d := dtd.MustParse(`
+doc <- (a | b)*
+a <- (c | d)*
+b <- c?
+c <- #PCDATA
+d <- ()
+`)
+	queries := []string{
+		"//a//c",
+		"//c/..",
+		"//c/ancestor::a/d",
+		"for $x in //a return for $y in $x/c return $y",
+		"for $x in //a return <w>{$x/c}</w>",
+		"for $x in //node() return if ($x/d) then $x/c else ()",
+		"//b/following-sibling::a//d",
+	}
+	updates := []string{
+		"for $x in //a return for $y in $x/c return delete $y",
+		"for $x in //b return insert <c>n</c> into $x",
+	}
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 8; trial++ {
+		tree, err := d.GenerateTree(rng, 0.6, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qs := range queries {
+			q := xquery.MustParseQuery(qs)
+			nq := xquery.Normalize(q)
+			s1, r1, err1 := QueryTree(tree, q)
+			s2, r2, err2 := QueryTree(tree, nq)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%q: error mismatch %v vs %v", qs, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if !xmltree.SequencesEquivalent(s1, r1, s2, r2) {
+				t.Errorf("normalization changed the result of %q\noriginal: %s\nnormalized: %s",
+					qs, q, nq)
+			}
+		}
+		for _, us := range updates {
+			u := xquery.MustParseUpdate(us)
+			nu := xquery.NormalizeUpdate(u)
+			a := applyCopy(tree, u)
+			b := applyCopy(tree, nu)
+			if (a == nil) != (b == nil) {
+				t.Fatalf("%q: runtime error mismatch", us)
+			}
+			if a == nil {
+				continue
+			}
+			if !xmltree.ValueEquivalent(a.Store, a.Root, b.Store, b.Root) {
+				t.Errorf("normalization changed the effect of %q", us)
+			}
+		}
+	}
+}
+
+func applyCopy(tree xmltree.Tree, u xquery.Update) *xmltree.Tree {
+	s := xmltree.NewStore()
+	root := s.Copy(tree.Store, tree.Root)
+	if err := Update(s, RootEnv(root), u); err != nil {
+		return nil
+	}
+	out := xmltree.NewTree(s, root)
+	return &out
+}

@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"fmt"
+
+	"xqindep/internal/xmltree"
+	"xqindep/internal/xquery"
+)
+
+// QueryTree evaluates the quasi-closed query q against a fresh copy
+// of t, returning the result roots and the store they live in; t is
+// left untouched.
+func QueryTree(t xmltree.Tree, q xquery.Query) (*xmltree.Store, []xmltree.Loc, error) {
+	s := xmltree.NewStore()
+	root := s.Copy(t.Store, t.Root)
+	locs, err := Query(s, RootEnv(root), q)
+	return s, locs, err
+}
+
+// IndependentOn checks Definition 2.4 on one store: it evaluates q,
+// applies u, re-evaluates q, and reports whether the two results are
+// value equivalent. The input tree is not modified (all work happens
+// on copies). An error from any phase is returned verbatim — a
+// runtime error (e.g. a multi-node insert target) means independence
+// on this store cannot be judged.
+func IndependentOn(t xmltree.Tree, q xquery.Query, u xquery.Update) (bool, error) {
+	s1, before, err := QueryTree(t, q)
+	if err != nil {
+		return false, fmt.Errorf("first query evaluation: %w", err)
+	}
+	// Apply the update to a second copy, then re-evaluate.
+	s2 := xmltree.NewStore()
+	root2 := s2.Copy(t.Store, t.Root)
+	if err := Update(s2, RootEnv(root2), u); err != nil {
+		return false, fmt.Errorf("update evaluation: %w", err)
+	}
+	after, err := Query(s2, RootEnv(root2), q)
+	if err != nil {
+		return false, fmt.Errorf("second query evaluation: %w", err)
+	}
+	return xmltree.SequencesEquivalent(s1, before, s2, after), nil
+}
+
+// DependentOnAny reports whether some tree of the sample set
+// witnesses dependence of q and u (a result change after the update).
+// Trees on which the update raises a runtime error are skipped: per
+// Definition 2.4 independence only quantifies over runs that succeed.
+// The returned tree index identifies the first witness (-1 if none).
+func DependentOnAny(trees []xmltree.Tree, q xquery.Query, u xquery.Update) int {
+	for i, t := range trees {
+		ok, err := IndependentOn(t, q, u)
+		if err != nil {
+			continue
+		}
+		if !ok {
+			return i
+		}
+	}
+	return -1
+}

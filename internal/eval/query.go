@@ -1,0 +1,168 @@
+// Package eval implements the dynamic semantics of the paper's query
+// and update fragments (Section 2): query evaluation
+// σ,γ ⊨ q ⇒ σq,Lq, update pending list construction σ,γ ⊨ u ⇒ σw,w,
+// UPL application σw ⊢ w ; σu, and the runtime independence oracle of
+// Definition 2.4 used as ground truth by tests and benchmarks.
+package eval
+
+import (
+	"fmt"
+
+	"xqindep/internal/xmltree"
+	"xqindep/internal/xquery"
+)
+
+// Env is the variable environment γ, binding variables to location
+// sequences.
+type Env map[string][]xmltree.Loc
+
+// Bind returns a copy of e with v bound to locs.
+func (e Env) Bind(v string, locs []xmltree.Loc) Env {
+	out := make(Env, len(e)+1)
+	for k, val := range e {
+		out[k] = val
+	}
+	out[v] = locs
+	return out
+}
+
+// RootEnv is the quasi-closed environment γ = {x ↦ lt}.
+func RootEnv(root xmltree.Loc) Env {
+	return Env{xquery.RootVar: []xmltree.Loc{root}}
+}
+
+// Query evaluates q against the store: σ,γ ⊨ q ⇒ σq,Lq. The store is
+// extended in place with nodes built by element constructors and
+// string literals (it plays both σ and σq); the returned sequence
+// holds the roots of the answer trees.
+func Query(s *xmltree.Store, env Env, q xquery.Query) ([]xmltree.Loc, error) {
+	switch n := q.(type) {
+	case xquery.Empty:
+		return nil, nil
+	case xquery.Sequence:
+		l, err := Query(s, env, n.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Query(s, env, n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	case xquery.StringLit:
+		return []xmltree.Loc{s.NewText(n.Value)}, nil
+	case xquery.Var:
+		locs, ok := env[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("eval: unbound variable %s", n.Name)
+		}
+		return append([]xmltree.Loc(nil), locs...), nil
+	case xquery.Step:
+		ctx, ok := env[n.Var]
+		if !ok {
+			return nil, fmt.Errorf("eval: unbound variable %s", n.Var)
+		}
+		var out []xmltree.Loc
+		for _, l := range ctx {
+			out = append(out, axisNodes(s, l, n.Axis)...)
+		}
+		out = filterTest(s, out, n.Test)
+		return s.SortDocOrder(out), nil
+	case xquery.Element:
+		content, err := Query(s, env, n.Content)
+		if err != nil {
+			return nil, err
+		}
+		el := s.NewElement(n.Tag)
+		for _, c := range content {
+			cp := s.Copy(s, c)
+			s.AppendChild(el, cp)
+		}
+		return []xmltree.Loc{el}, nil
+	case xquery.For:
+		seq, err := Query(s, env, n.In)
+		if err != nil {
+			return nil, err
+		}
+		var out []xmltree.Loc
+		for _, l := range seq {
+			r, err := Query(s, env.Bind(n.Var, []xmltree.Loc{l}), n.Return)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r...)
+		}
+		return out, nil
+	case xquery.Let:
+		seq, err := Query(s, env, n.Bind)
+		if err != nil {
+			return nil, err
+		}
+		return Query(s, env.Bind(n.Var, seq), n.Return)
+	case xquery.If:
+		cond, err := Query(s, env, n.Cond)
+		if err != nil {
+			return nil, err
+		}
+		if len(cond) > 0 {
+			return Query(s, env, n.Then)
+		}
+		return Query(s, env, n.Else)
+	default:
+		return nil, fmt.Errorf("eval: unknown query node %T", q)
+	}
+}
+
+// axisNodes returns the nodes reached from l along axis, in document
+// order (ancestor axes are produced nearest-first and re-ordered by
+// the caller's sort).
+func axisNodes(s *xmltree.Store, l xmltree.Loc, axis xquery.Axis) []xmltree.Loc {
+	switch axis {
+	case xquery.Self:
+		return []xmltree.Loc{l}
+	case xquery.Child:
+		return s.Children(l)
+	case xquery.Descendant:
+		return s.Descendants(l)
+	case xquery.DescendantOrSelf:
+		return append([]xmltree.Loc{l}, s.Descendants(l)...)
+	case xquery.Parent:
+		if p := s.Parent(l); p != xmltree.NilLoc {
+			return []xmltree.Loc{p}
+		}
+		return nil
+	case xquery.Ancestor:
+		return s.Ancestors(l)
+	case xquery.AncestorOrSelf:
+		return append([]xmltree.Loc{l}, s.Ancestors(l)...)
+	case xquery.PrecedingSibling:
+		return s.PrecedingSiblings(l)
+	case xquery.FollowingSibling:
+		return s.FollowingSiblings(l)
+	default:
+		panic(fmt.Sprintf("eval: unknown axis %v", axis))
+	}
+}
+
+func filterTest(s *xmltree.Store, locs []xmltree.Loc, test xquery.NodeTest) []xmltree.Loc {
+	out := locs[:0]
+	for _, l := range locs {
+		switch test.Kind {
+		case xquery.NodeAny:
+			out = append(out, l)
+		case xquery.TextTest:
+			if s.IsText(l) {
+				out = append(out, l)
+			}
+		case xquery.TagTest:
+			if s.IsElement(l) && s.Tag(l) == test.Tag {
+				out = append(out, l)
+			}
+		case xquery.WildcardTest:
+			if s.IsElement(l) {
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package infer
+
+import (
+	"math/rand"
+	"testing"
+
+	"xqindep/internal/eval"
+	"xqindep/internal/xmltree"
+	"xqindep/internal/xquery"
+)
+
+func TestCommutativityBasics(t *testing.T) {
+	mustCommute := [][2]string{
+		{"delete //author", "delete //price"},
+		{"delete //price", "delete //book/price"},
+		{"for $b in //book return insert <author/> into $b", "delete //price"},
+	}
+	for _, p := range mustCommute {
+		v := Commutativity(bib, xquery.MustParseUpdate(p[0]), xquery.MustParseUpdate(p[1]))
+		if !v.Commute {
+			t.Errorf("should commute: %s || %s (conflicts %v)", p[0], p[1], v.Conflicts)
+		}
+	}
+	mustNotCommute := [][2]string{
+		// Both insert into the same nodes: order changes sibling order.
+		{"for $b in //book return insert <author>a</author> into $b",
+			"for $b in //book return insert <author>b</author> into $b"},
+		// One deletes what the other's condition reads.
+		{"delete //title",
+			"for $b in //book return if ($b/title) then delete $b/price else ()"},
+		// One inserts what the other deletes.
+		{"for $b in //book return insert <author/> into $b", "delete //author"},
+	}
+	for _, p := range mustNotCommute {
+		v := Commutativity(bib, xquery.MustParseUpdate(p[0]), xquery.MustParseUpdate(p[1]))
+		if v.Commute {
+			t.Errorf("should not commute: %s || %s", p[0], p[1])
+		}
+	}
+}
+
+// TestCommutativityDifferential: whenever the analysis says two
+// updates commute, applying them in both orders on random valid
+// documents must converge to value-equivalent documents.
+func TestCommutativityDifferential(t *testing.T) {
+	updates := []string{
+		"delete //author",
+		"delete //price",
+		"delete //book/price",
+		"for $b in //book return insert <author/> into $b",
+		"for $b in //book return insert <author>x</author> into $b",
+		"for $t in //title return rename $t as title",
+		"for $b in //book return if ($b/author) then delete $b/price else ()",
+		"for $p in //price return replace $p with <price>0</price>",
+		"()",
+	}
+	rng := rand.New(rand.NewSource(4))
+	var docs []xmltree.Tree
+	for i := 0; i < 6; i++ {
+		tr, err := bib.GenerateTree(rng, 0.6, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, tr)
+	}
+	for i, s1 := range updates {
+		for _, s2 := range updates[i:] {
+			u1 := xquery.MustParseUpdate(s1)
+			u2 := xquery.MustParseUpdate(s2)
+			if !Commutativity(bib, u1, u2).Commute {
+				continue
+			}
+			for _, doc := range docs {
+				a := applyBoth(t, doc, u1, u2)
+				b := applyBoth(t, doc, u2, u1)
+				if a == nil || b == nil {
+					continue // runtime error in one order: skip
+				}
+				if !xmltree.ValueEquivalent(a.Store, a.Root, b.Store, b.Root) {
+					t.Errorf("UNSOUND commute verdict:\n  u1 = %s\n  u2 = %s\n  u1;u2 = %s\n  u2;u1 = %s",
+						s1, s2, a.Store.String(a.Root), b.Store.String(b.Root))
+				}
+			}
+		}
+	}
+}
+
+func applyBoth(t *testing.T, doc xmltree.Tree, u1, u2 xquery.Update) *xmltree.Tree {
+	t.Helper()
+	s := xmltree.NewStore()
+	root := s.Copy(doc.Store, doc.Root)
+	if err := eval.Update(s, eval.RootEnv(root), u1); err != nil {
+		return nil
+	}
+	if err := eval.Update(s, eval.RootEnv(root), u2); err != nil {
+		return nil
+	}
+	tr := xmltree.NewTree(s, root)
+	return &tr
+}

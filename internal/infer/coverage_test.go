@@ -1,0 +1,107 @@
+package infer
+
+import (
+	"math/rand"
+	"testing"
+
+	"xqindep/internal/chain"
+	"xqindep/internal/dtd"
+	"xqindep/internal/eval"
+	"xqindep/internal/xmltree"
+	"xqindep/internal/xquery"
+)
+
+// TestStepChainCoverage validates Lemma 3.1 (soundness of step
+// chains) executably: for every axis and node test, every node an
+// XPath step selects on a random valid document is typed by a chain in
+// TC(AC(c, axis), φ) for the context node's chain c.
+func TestStepChainCoverage(t *testing.T) {
+	schemas := []*dtd.DTD{figure1, bib, d1}
+	axes := []xquery.Axis{
+		xquery.Self, xquery.Child, xquery.Descendant, xquery.DescendantOrSelf,
+		xquery.Parent, xquery.Ancestor, xquery.AncestorOrSelf,
+		xquery.PrecedingSibling, xquery.FollowingSibling,
+	}
+	tests := []xquery.NodeTest{xquery.AnyNode(), xquery.Wildcard(), xquery.Text()}
+	rng := rand.New(rand.NewSource(31))
+	for _, d := range schemas {
+		tests := append(tests, xquery.Tag(d.Types[rng.Intn(len(d.Types))]))
+		in := New(d, 4) // k=4 covers the recursion the small documents reach
+		for trial := 0; trial < 5; trial++ {
+			tree, err := d.GenerateTree(rng, 0.55, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nu, err := d.TypeAssignment(tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chains := nodeChains(tree, nu)
+			for _, l := range tree.Store.Domain(tree.Root) {
+				for _, ax := range axes {
+					for _, nt := range tests {
+						step := xquery.Step{Var: "$x", Axis: ax, Test: nt}
+						got, err := eval.Query(tree.Store, eval.Env{"$x": []xmltree.Loc{l}}, step)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(got) == 0 {
+							continue
+						}
+						inferred := chain.NewSet(in.StepChains(chains[l], ax, nt)...)
+						for _, res := range got {
+							if !inferred.Contains(chains[res]) {
+								t.Fatalf("Lemma 3.1 violated: step %s::%s from %v selects node typed %v, inferred %v",
+									ax, nt, chains[l], chains[res], inferred)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// nodeChains computes cσl for every location (Definition 2.2).
+func nodeChains(tree xmltree.Tree, nu map[xmltree.Loc]string) map[xmltree.Loc]chain.Chain {
+	out := make(map[xmltree.Loc]chain.Chain)
+	var walk func(l xmltree.Loc, c chain.Chain)
+	walk = func(l xmltree.Loc, c chain.Chain) {
+		cur := c.Extend(nu[l])
+		out[l] = cur
+		for _, k := range tree.Store.Children(l) {
+			walk(k, cur)
+		}
+	}
+	walk(tree.Root, nil)
+	return out
+}
+
+// TestNodeChainsInCd validates Proposition 2.3: the chain of every
+// node of a valid document belongs to Cd (consecutive symbols related
+// by ⇒d, rooted at sd).
+func TestNodeChainsInCd(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, d := range []*dtd.DTD{figure1, bib, d1} {
+		for trial := 0; trial < 8; trial++ {
+			tree, err := d.GenerateTree(rng, 0.6, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nu, err := d.TypeAssignment(tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l, c := range nodeChains(tree, nu) {
+				if c[0] != d.Start {
+					t.Fatalf("chain %v does not start at %s", c, d.Start)
+				}
+				for i := 0; i+1 < len(c); i++ {
+					if !d.Reaches(c[i], c[i+1]) {
+						t.Fatalf("chain %v of node %d breaks ⇒d at %d", c, l, i)
+					}
+				}
+			}
+		}
+	}
+}

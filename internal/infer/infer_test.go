@@ -1,0 +1,457 @@
+package infer
+
+import (
+	"reflect"
+	"testing"
+
+	"xqindep/internal/chain"
+	"xqindep/internal/dtd"
+	"xqindep/internal/xquery"
+)
+
+// The three schemas used throughout the paper's prose.
+var (
+	figure1 = dtd.MustParse(`
+doc <- (a | b)*
+a <- c
+b <- c
+c <- ()
+`)
+	bib = dtd.MustParse(`
+bib <- book*
+book <- title, author*, price?
+title <- #PCDATA
+author <- first?, last?, email?
+first <- #PCDATA
+last <- #PCDATA
+email <- #PCDATA
+price <- #PCDATA
+`)
+	d1 = dtd.MustParse(`
+r <- a
+a <- (b, c, e)*
+b <- f
+c <- f
+e <- f
+f <- a, g
+g <- ()
+`)
+)
+
+func retChains(t *testing.T, d *dtd.DTD, k int, query string) []string {
+	t.Helper()
+	in := New(d, k)
+	return in.Query(in.RootEnv(), xquery.MustParseQuery(query)).Ret.Strings()
+}
+
+func TestStepChainsFigure1(t *testing.T) {
+	in := New(figure1, 1)
+	root := in.RootChain()
+	// AC(doc, child) = {doc.a, doc.b}.
+	got := in.TC(in.AC(root, xquery.Child), xquery.AnyNode())
+	want := []string{"doc.a", "doc.b"}
+	var gs []string
+	for _, c := range got {
+		gs = append(gs, c.String())
+	}
+	if !reflect.DeepEqual(gs, want) {
+		t.Errorf("child chains = %v, want %v", gs, want)
+	}
+	// Descendant closure.
+	desc := chain.NewSet(in.AC(root, xquery.Descendant)...)
+	for _, w := range []string{"doc.a", "doc.b", "doc.a.c", "doc.b.c"} {
+		if !desc.Contains(chain.ParseChain(w)) {
+			t.Errorf("descendant chains missing %s (got %v)", w, desc)
+		}
+	}
+	if desc.Len() != 4 {
+		t.Errorf("descendant chains = %v", desc)
+	}
+	// Upward.
+	c := chain.ParseChain("doc.a.c")
+	if got := in.AC(c, xquery.Parent); len(got) != 1 || got[0].String() != "doc.a" {
+		t.Errorf("parent = %v", got)
+	}
+	if got := in.AC(c, xquery.Ancestor); len(got) != 2 {
+		t.Errorf("ancestors = %v", got)
+	}
+	if got := in.AC(in.RootChain(), xquery.Parent); got != nil {
+		t.Errorf("root parent = %v, want none", got)
+	}
+	if got := in.AC(c, xquery.AncestorOrSelf); len(got) != 3 {
+		t.Errorf("ancestor-or-self = %v", got)
+	}
+}
+
+func TestSiblingChains(t *testing.T) {
+	// DTD d = {a ← (b+, c*)} from Section 3.2's (STEPUH) example.
+	d := dtd.MustParse("a <- b+, c*\nb <- ()\nc <- ()")
+	in := New(d, 1)
+	b := chain.ParseChain("a.b")
+	var got []string
+	for _, c := range in.AC(b, xquery.FollowingSibling) {
+		got = append(got, c.String())
+	}
+	if !reflect.DeepEqual(got, []string{"a.b", "a.c"}) {
+		t.Errorf("following siblings of a.b = %v", got)
+	}
+	cC := chain.ParseChain("a.c")
+	got = nil
+	for _, c := range in.AC(cC, xquery.PrecedingSibling) {
+		got = append(got, c.String())
+	}
+	if !reflect.DeepEqual(got, []string{"a.b", "a.c"}) {
+		t.Errorf("preceding siblings of a.c = %v", got)
+	}
+	// Root has no siblings.
+	if got := in.AC(chain.ParseChain("a"), xquery.FollowingSibling); got != nil {
+		t.Errorf("root siblings = %v", got)
+	}
+}
+
+// TestStepUHUsedChains replays Section 3.2: for d = {a ← (b+, c*)} and
+// query /a/b/following-sibling::c, a.b is a used chain and a.c a
+// return chain.
+func TestStepUHUsedChains(t *testing.T) {
+	d := dtd.MustParse("a <- b+, c*\nb <- ()\nc <- ()")
+	in := New(d, 1)
+	qc := in.Query(in.RootEnv(), xquery.MustParseQuery("/a/b/following-sibling::c"))
+	if !reflect.DeepEqual(qc.Ret.Strings(), []string{"a.c"}) {
+		t.Errorf("return = %v", qc.Ret)
+	}
+	if !qc.Used.Contains(chain.ParseChain("a.b")) {
+		t.Errorf("used = %v, want a.b", qc.Used)
+	}
+}
+
+func TestQueryChainsPaperIntro(t *testing.T) {
+	// q1 = //a//c over Figure 1's DTD: the single return chain doc.a.c.
+	if got := retChains(t, figure1, 2, "//a//c"); !reflect.DeepEqual(got, []string{"doc.a.c"}) {
+		t.Errorf("//a//c chains = %v", got)
+	}
+	// q2 = //title over the bib DTD: bib.book.title.
+	if got := retChains(t, bib, 2, "//title"); !reflect.DeepEqual(got, []string{"bib.book.title"}) {
+		t.Errorf("//title chains = %v", got)
+	}
+}
+
+func TestUpdateChainsPaperIntro(t *testing.T) {
+	// u1 = delete //b//c over Figure 1's DTD: doc.b:c.
+	in := New(figure1, 2)
+	u1 := in.Update(in.RootEnv(), xquery.MustParseUpdate("delete //b//c"))
+	if !reflect.DeepEqual(u1.Strings(), []string{"doc.b:c"}) {
+		t.Errorf("u1 chains = %v", u1.Strings())
+	}
+	// u2 over bib: insert <author/> into every book: bib.book:author.
+	in2 := New(bib, 2)
+	u2 := in2.Update(in2.RootEnv(), xquery.MustParseUpdate("for $x in //book return insert <author/> into $x"))
+	if !reflect.DeepEqual(u2.Strings(), []string{"bib.book:author"}) {
+		t.Errorf("u2 chains = %v", u2.Strings())
+	}
+}
+
+// TestNestedElementChains replays Section 3's nested-constructor
+// example: inserting <author><first>..</first><second>..</second></author>
+// yields update chains bib.book:author.first.S and
+// bib.book:author.second.S.
+func TestNestedElementChains(t *testing.T) {
+	in := New(bib, 3)
+	u := xquery.MustParseUpdate(
+		"for $x in //book return insert <author><first>Umberto</first><second>Eco</second></author> into $x")
+	got := in.Update(in.RootEnv(), u).Strings()
+	want := []string{"bib.book:author.first.S", "bib.book:author.second.S"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("update chains = %v, want %v", got, want)
+	}
+}
+
+// TestElementChainExample replays the <r1>(x/a, <r2>x/b</r2>)</r1>
+// example of Section 3.2 over a small schema: element chains r1.a...
+// and r1.r2.b..., and crucially NOT r1.b....
+func TestElementChainExample(t *testing.T) {
+	d := dtd.MustParse("root <- a, b\na <- ()\nb <- ()")
+	in := New(d, 2)
+	q := xquery.MustParseQuery("for $x in /root return <r1>{($x/a, <r2>{$x/b}</r2>)}</r1>")
+	qc := in.Query(in.RootEnv(), q)
+	if !qc.Elem.Contains(chain.ParseChain("r1.a")) {
+		t.Errorf("element chains missing r1.a: %v", qc.Elem)
+	}
+	if !qc.Elem.Contains(chain.ParseChain("r1.r2.b")) {
+		t.Errorf("element chains missing r1.r2.b: %v", qc.Elem)
+	}
+	if qc.Elem.Contains(chain.ParseChain("r1.b")) {
+		t.Errorf("wrong element chain r1.b produced: %v", qc.Elem)
+	}
+	// Return chains of an element query are empty; content chains
+	// become used.
+	if qc.Ret.Len() != 0 {
+		t.Errorf("element query has return chains: %v", qc.Ret)
+	}
+	if !qc.Used.Contains(chain.ParseChain("root.a")) || !qc.Used.Contains(chain.ParseChain("root.b")) {
+		t.Errorf("used chains = %v", qc.Used)
+	}
+}
+
+// TestForFiltering replays the (FOR) filtering example: for x in
+// //node() return if x/b then x/a infers used chains only for nodes
+// leading to an a or b child.
+func TestForFiltering(t *testing.T) {
+	d := dtd.MustParse(`
+root <- x*, y*
+x <- a?, b?
+y <- z?
+a <- ()
+b <- ()
+z <- ()
+`)
+	in := New(d, 2)
+	q := xquery.MustParseQuery("for $v in //node() return if ($v/b) then $v/a else ()")
+	qc := in.Query(in.RootEnv(), q)
+	// Exactly as the paper's prose: the only used chain leads to the b
+	// node tested by the condition. The binding chain root.x itself is
+	// subsumed by the return chain root.x.a, and the unproductive
+	// root.y / root.y.z iterations are filtered entirely.
+	if !reflect.DeepEqual(qc.Used.Strings(), []string{"root.x.b"}) {
+		t.Errorf("used chains = %v, want {root.x.b}", qc.Used)
+	}
+	if !reflect.DeepEqual(qc.Ret.Strings(), []string{"root.x.a"}) {
+		t.Errorf("return chains = %v", qc.Ret)
+	}
+}
+
+func TestRecursiveChainInference(t *testing.T) {
+	// Section 5: for /r/a/b/f/a over d1 with k=2 the chain
+	// r.a.b.f.a is inferred.
+	if got := retChains(t, d1, 2, "/r/a/b/f/a"); !reflect.DeepEqual(got, []string{"r.a.b.f.a"}) {
+		t.Errorf("/r/a/b/f/a chains = %v", got)
+	}
+	// With k=1 the chain has two a's and cannot be produced.
+	if got := retChains(t, d1, 1, "/r/a/b/f/a"); len(got) != 0 {
+		t.Errorf("k=1 chains = %v, want none", got)
+	}
+	// /descendant::b/descendant::c/descendant::e over d1: the shortest
+	// chain r.a.b.f.a.c.f.a.e is a 3-chain (Section 5).
+	got3 := retChains(t, d1, 3, "/descendant::b/descendant::c/descendant::e")
+	found := false
+	for _, c := range got3 {
+		if c == "r.a.b.f.a.c.f.a.e" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("k=3 chains missing r.a.b.f.a.c.f.a.e: %v", got3)
+	}
+	// With k=1 nothing is inferred for this path.
+	if got := retChains(t, d1, 1, "/descendant::b/descendant::c/descendant::e"); len(got) != 0 {
+		t.Errorf("k=1 produced %v", got)
+	}
+}
+
+func TestKValuesFromPaper(t *testing.T) {
+	queryCases := []struct {
+		q    string
+		want int
+	}{
+		{"/r/a/b/f/a", 2},                                 // max tag frequency 2 (a twice)
+		{"/r/a/b/f/a/parent::f", 2},                       // same
+		{"/r/a/b/f/*", 2},                                 // wildcard counts for any label
+		{"/descendant::b/descendant::c/descendant::e", 3}, // 3 recursive steps
+		{"/descendant::b/a/b", 2},                         // 1 + 1
+		{"/descendant::b/ancestor::c", 2},
+		{"/descendant::c/following-sibling::b", 2},
+		{"//a//c", 3},                                               // 2 recursive (//) + frequency 1
+		{"for $x in /a/a return for $y in /a/b return ($x, $y)", 3}, // paper: F(a)=3
+		{"()", 0},
+		{`"s"`, 0},
+	}
+	for _, c := range queryCases {
+		if got := KQuery(xquery.MustParseQuery(c.q)); got != c.want {
+			t.Errorf("KQuery(%q) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	updateCases := []struct {
+		u    string
+		want int
+	}{
+		// Section 5's element-construction example: ku = 3.
+		{"for $x in /a/b return insert <b><b><c/></b></b> into $x", 3},
+		{"delete /descendant::c", 1},
+		{"rename /a/b as b", 2}, // b step + renamed-to b
+		{"rename /a/b as z", 1},
+	}
+	for _, c := range updateCases {
+		if got := KUpdate(xquery.MustParseUpdate(c.u)); got != c.want {
+			t.Errorf("KUpdate(%q) = %d, want %d", c.u, got, c.want)
+		}
+	}
+	// KPair sums and clamps.
+	q := xquery.MustParseQuery("/descendant::b")
+	u := xquery.MustParseUpdate("delete /descendant::c")
+	if got := KPair(q, u); got != 2 {
+		t.Errorf("KPair = %d, want 2", got)
+	}
+	if got := KPair(xquery.MustParseQuery("()"), xquery.MustParseUpdate("()")); got != 1 {
+		t.Errorf("KPair((),()) = %d, want 1", got)
+	}
+}
+
+func TestIndependencePaperExamples(t *testing.T) {
+	cases := []struct {
+		name string
+		d    *dtd.DTD
+		q    string
+		u    string
+		want bool
+	}{
+		{"q1-u1", figure1, "//a//c", "delete //b//c", true},
+		{"q1-u1-dep", figure1, "//a//c", "delete //a//c", false},
+		{"q2-u2", bib, "//title", "for $x in //book return insert <author/> into $x", true},
+		// Composed element chains (bib.book:author.first.S, ...) let the
+		// analysis conclude independence here: the inserted author has
+		// no email child, so //author/email is unaffected (Section 3).
+		{"author-email", bib, "//author/email",
+			"for $x in //book return insert <author><first>U</first><last>E</last></author> into $x", true},
+		{"author-first-dependent", bib, "//author/first",
+			"for $x in //book return insert <author><first>U</first></author> into $x", false},
+		{"author-dependent", bib, "//author",
+			"for $x in //book return insert <author><first>U</first></author> into $x", false},
+		{"email-safe", bib, "//title",
+			"for $x in //author return insert <email/> into $x", true},
+		{"delete-book", bib, "//title", "delete //book", false},
+		{"rename-into-query-space", figure1, "//a", "rename /doc/b as a", false},
+		{"rename-away", figure1, "//a", "rename /doc/b as z", true},
+		// The Section 5 motivation: query and update on descendants
+		// of each other in a recursive schema.
+		{"recursive-dependent", d1, "/descendant::b", "delete /descendant::c", false},
+		{"recursive-independent", d1, "/r/a/e", "delete /r/a/b", true},
+	}
+	for _, c := range cases {
+		q := xquery.MustParseQuery(c.q)
+		u := xquery.MustParseUpdate(c.u)
+		v := Independence(c.d, q, u)
+		if v.Independent != c.want {
+			t.Errorf("%s: Independent = %v, want %v (k=%d, conflicts %v, q-chains r=%v v=%v, u-chains %v)",
+				c.name, v.Independent, c.want, v.K, v.Conflicts, v.Query.Ret, v.Query.Used, v.Update.Strings())
+		}
+	}
+}
+
+// TestReplaceRuleSoundness pins the corrected (REPLACE) rule: a
+// replacement constructor creates nodes at the target's position, so
+// a query selecting the new tag must conflict.
+func TestReplaceRuleSoundness(t *testing.T) {
+	d := dtd.MustParse("r <- (a | b)*\na <- ()\nb <- ()")
+	q := xquery.MustParseQuery("//b")
+	u := xquery.MustParseUpdate("for $x in /r/a return replace $x with <b/>")
+	// NB: replace with multi-node target is a runtime error per node;
+	// the for-loop replaces each a separately, which is fine.
+	v := Independence(d, q, u)
+	if v.Independent {
+		t.Errorf("replace-with-constructor must conflict with //b; chains %v vs %v",
+			v.Query.Ret, v.Update.Strings())
+	}
+	// And the removal side: replacing a conflicts with //a.
+	v2 := Independence(d, xquery.MustParseQuery("//a"), u)
+	if v2.Independent {
+		t.Errorf("replace removes a nodes; //a must conflict")
+	}
+	// But an untouched sibling tag is independent... there is none in
+	// this schema; extend it.
+	d2 := dtd.MustParse("r <- (a | b | c)*\na <- ()\nb <- ()\nc <- ()")
+	v3 := Independence(d2, xquery.MustParseQuery("//c"), u)
+	if !v3.Independent {
+		t.Errorf("//c is untouched by replace a->b: %v", v3.Conflicts)
+	}
+}
+
+func TestInsertBeforeAfterChains(t *testing.T) {
+	// insert <n/> before /doc/a/c: the change happens under doc.a.
+	d := dtd.MustParse("doc <- a*\na <- c, n?\nc <- ()\nn <- ()")
+	in := New(d, 2)
+	u := in.Update(in.RootEnv(), xquery.MustParseUpdate("for $x in //c return insert <n/> before $x"))
+	if !reflect.DeepEqual(u.Strings(), []string{"doc.a:n"}) {
+		t.Errorf("before-insert chains = %v", u.Strings())
+	}
+	// Inserting beside the root is impossible: no chains.
+	u2 := in.Update(in.RootEnv(), xquery.MustParseUpdate("insert <n/> after /doc"))
+	if u2.Len() != 0 {
+		t.Errorf("insert after root produced %v", u2.Strings())
+	}
+}
+
+func TestInsertCopiedSourceChains(t *testing.T) {
+	// Inserting existing title nodes (with their text subtrees) into
+	// books: chains must cover the copied subtree.
+	in := New(bib, 2)
+	u := in.Update(in.RootEnv(),
+		xquery.MustParseUpdate("for $x in //book return insert $x/title into $x"))
+	got := u.Strings()
+	want := []string{"bib.book:title", "bib.book:title.S"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("copied-source chains = %v, want %v", got, want)
+	}
+}
+
+func TestLetAndIfChains(t *testing.T) {
+	in := New(bib, 2)
+	q := xquery.MustParseQuery("let $b := //book return if ($b/price) then $b/title else ()")
+	qc := in.Query(in.RootEnv(), q)
+	if !reflect.DeepEqual(qc.Ret.Strings(), []string{"bib.book.title"}) {
+		t.Errorf("ret = %v", qc.Ret)
+	}
+	// let converts r1 to used; the if-condition return chains are used.
+	for _, w := range []string{"bib.book", "bib.book.price"} {
+		if !qc.Used.Contains(chain.ParseChain(w)) {
+			t.Errorf("used missing %s: %v", w, qc.Used)
+		}
+	}
+}
+
+func TestUnboundVariableChains(t *testing.T) {
+	in := New(bib, 1)
+	qc := in.Query(in.RootEnv(), xquery.Step{Var: "$zz", Axis: xquery.Child, Test: xquery.AnyNode()})
+	if qc.Ret.Len() != 0 || qc.Used.Len() != 0 {
+		t.Errorf("unbound variable produced chains")
+	}
+}
+
+func TestEDTDChainInference(t *testing.T) {
+	// Two types share the label "name": chains distinguish them, and a
+	// tag test selects both.
+	d := dtd.MustParse(`
+start db
+db <- person*, company*
+person <- pname
+company <- cname
+pname[name] <- first
+cname[name] <- #PCDATA
+first <- #PCDATA
+`)
+	in := New(d, 1)
+	qc := in.Query(in.RootEnv(), xquery.MustParseQuery("//name"))
+	want := []string{"db.company.cname", "db.person.pname"}
+	if !reflect.DeepEqual(qc.Ret.Strings(), want) {
+		t.Errorf("EDTD //name chains = %v, want %v", qc.Ret.Strings(), want)
+	}
+	// Queries through one context are independent from updates in the
+	// other, even though labels coincide.
+	q := xquery.MustParseQuery("for $p in //person return $p/name")
+	u := xquery.MustParseUpdate("for $c in //company return delete $c/name")
+	if v := Independence(d, q, u); !v.Independent {
+		t.Errorf("EDTD context separation failed: %v", v.Conflicts)
+	}
+}
+
+func TestUpdateSetBasics(t *testing.T) {
+	s := NewUpdateSet(chain.ParseUpdateChain("a:b"), chain.ParseUpdateChain("a:b"), chain.ParseUpdateChain("a:c"))
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if !reflect.DeepEqual(s.Strings(), []string{"a:b", "a:c"}) {
+		t.Errorf("Strings = %v", s.Strings())
+	}
+	full := s.FullChains()
+	if !full.Contains(chain.ParseChain("a.b")) || !full.Contains(chain.ParseChain("a.c")) {
+		t.Errorf("FullChains = %v", full)
+	}
+}

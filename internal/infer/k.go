@@ -1,0 +1,248 @@
+// Package infer implements the paper's static chain inference: the
+// step rules AC/TC (Section 3.1), the query rules of Table 1, the
+// update rules of Table 2, and the multiplicity functions F and R of
+// Table 3 that bound the finite analysis (Section 5).
+//
+// This package is the direct, auditable transcription of the calculus
+// over explicit chain sets; it is exponential in the worst case
+// (footnote 8 of the paper). Package cdag provides the polynomial
+// production engine; both are cross-validated in tests.
+package infer
+
+import (
+	"xqindep/internal/xquery"
+)
+
+// FQuery computes F(a, q) of Table 3: the frequency of tag a in the
+// query, where node() and * steps stand for any label.
+func FQuery(a string, q xquery.Query) int {
+	switch n := q.(type) {
+	case xquery.Empty, xquery.StringLit, xquery.Var:
+		return 0
+	case xquery.Step:
+		if n.Axis.IsRecursive() {
+			return 0
+		}
+		if testCountsFor(a, n.Test) {
+			return 1
+		}
+		return 0
+	case xquery.Sequence:
+		return maxInt(FQuery(a, n.Left), FQuery(a, n.Right))
+	case xquery.If:
+		return maxInt(FQuery(a, n.Cond), maxInt(FQuery(a, n.Then), FQuery(a, n.Else)))
+	case xquery.For:
+		return FQuery(a, n.In) + FQuery(a, n.Return)
+	case xquery.Let:
+		return FQuery(a, n.Bind) + FQuery(a, n.Return)
+	case xquery.Element:
+		f := FQuery(a, n.Content)
+		if n.Tag == a {
+			f++
+		}
+		return f
+	default:
+		panic("infer: unknown query node")
+	}
+}
+
+// testCountsFor reports φ ∈ {a, node()}: whether the node test can
+// select an element labelled a.
+func testCountsFor(a string, t xquery.NodeTest) bool {
+	switch t.Kind {
+	case xquery.TagTest:
+		return t.Tag == a
+	case xquery.NodeAny, xquery.WildcardTest:
+		return true
+	default: // text()
+		return false
+	}
+}
+
+// RQuery computes R(q) of Table 3: the number of recursive-axis
+// steps, summed across iteration and maximised across alternatives.
+func RQuery(q xquery.Query) int {
+	switch n := q.(type) {
+	case xquery.Empty, xquery.StringLit, xquery.Var:
+		return 0
+	case xquery.Step:
+		if n.Axis.IsRecursive() {
+			return 1
+		}
+		return 0
+	case xquery.Sequence:
+		return maxInt(RQuery(n.Left), RQuery(n.Right))
+	case xquery.If:
+		return maxInt(RQuery(n.Cond), maxInt(RQuery(n.Then), RQuery(n.Else)))
+	case xquery.For:
+		return RQuery(n.In) + RQuery(n.Return)
+	case xquery.Let:
+		return RQuery(n.Bind) + RQuery(n.Return)
+	case xquery.Element:
+		return RQuery(n.Content)
+	default:
+		panic("infer: unknown query node")
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// queryTags collects every tag syntactically relevant to F: tag tests
+// and constructed-element tags.
+func queryTags(q xquery.Query, out map[string]bool) {
+	switch n := q.(type) {
+	case xquery.Step:
+		if n.Test.Kind == xquery.TagTest {
+			out[n.Test.Tag] = true
+		} else if n.Test.Kind == xquery.NodeAny || n.Test.Kind == xquery.WildcardTest {
+			out["*"] = true
+		}
+	case xquery.Sequence:
+		queryTags(n.Left, out)
+		queryTags(n.Right, out)
+	case xquery.If:
+		queryTags(n.Cond, out)
+		queryTags(n.Then, out)
+		queryTags(n.Else, out)
+	case xquery.For:
+		queryTags(n.In, out)
+		queryTags(n.Return, out)
+	case xquery.Let:
+		queryTags(n.Bind, out)
+		queryTags(n.Return, out)
+	case xquery.Element:
+		out[n.Tag] = true
+		queryTags(n.Content, out)
+	}
+}
+
+func updateTags(u xquery.Update, out map[string]bool) {
+	switch n := u.(type) {
+	case xquery.USeq:
+		updateTags(n.Left, out)
+		updateTags(n.Right, out)
+	case xquery.UIf:
+		queryTags(n.Cond, out)
+		updateTags(n.Then, out)
+		updateTags(n.Else, out)
+	case xquery.UFor:
+		queryTags(n.In, out)
+		updateTags(n.Body, out)
+	case xquery.ULet:
+		queryTags(n.Bind, out)
+		updateTags(n.Body, out)
+	case xquery.Delete:
+		queryTags(n.Target, out)
+	case xquery.Insert:
+		queryTags(n.Source, out)
+		queryTags(n.Target, out)
+	case xquery.Replace:
+		queryTags(n.Target, out)
+		queryTags(n.Source, out)
+	case xquery.Rename:
+		queryTags(n.Target, out)
+		out[n.As] = true
+	}
+}
+
+// maxF maximises a per-tag frequency function over the tags relevant
+// to the expression. The pseudo-tag "*" (node()/* steps) is evaluated
+// as a tag of its own: it matches every test that can select any
+// label, which makes it the representative of tags not otherwise
+// mentioned.
+func maxF(tags map[string]bool, f func(string) int) int {
+	max := 0
+	for t := range tags {
+		if v := f(t); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// KQuery computes k_q = max_a F(a, q) + R(q) (Section 5), the tag
+// multiplicity for which the k-chain analysis of q is representative.
+func KQuery(q xquery.Query) int {
+	tags := make(map[string]bool)
+	queryTags(q, tags)
+	return maxF(tags, func(a string) int { return FQuery(a, q) }) + RQuery(q)
+}
+
+// FUpdate computes F(a, u) per Table 3.
+func FUpdate(a string, u xquery.Update) int {
+	switch n := u.(type) {
+	case xquery.UEmpty:
+		return 0
+	case xquery.USeq:
+		return maxInt(FUpdate(a, n.Left), FUpdate(a, n.Right))
+	case xquery.UIf:
+		return maxInt(FQuery(a, n.Cond), maxInt(FUpdate(a, n.Then), FUpdate(a, n.Else)))
+	case xquery.UFor:
+		return FQuery(a, n.In) + FUpdate(a, n.Body)
+	case xquery.ULet:
+		return FQuery(a, n.Bind) + FUpdate(a, n.Body)
+	case xquery.Delete:
+		return FQuery(a, n.Target)
+	case xquery.Insert:
+		return FQuery(a, n.Source) + FQuery(a, n.Target)
+	case xquery.Replace:
+		return FQuery(a, n.Target) + FQuery(a, n.Source)
+	case xquery.Rename:
+		f := FQuery(a, n.Target)
+		if n.As == a {
+			f++
+		}
+		return f
+	default:
+		panic("infer: unknown update node")
+	}
+}
+
+// RUpdate computes R(u) per Table 3.
+func RUpdate(u xquery.Update) int {
+	switch n := u.(type) {
+	case xquery.UEmpty:
+		return 0
+	case xquery.USeq:
+		return maxInt(RUpdate(n.Left), RUpdate(n.Right))
+	case xquery.UIf:
+		return maxInt(RQuery(n.Cond), maxInt(RUpdate(n.Then), RUpdate(n.Else)))
+	case xquery.UFor:
+		return RQuery(n.In) + RUpdate(n.Body)
+	case xquery.ULet:
+		return RQuery(n.Bind) + RUpdate(n.Body)
+	case xquery.Delete:
+		return RQuery(n.Target)
+	case xquery.Insert:
+		return RQuery(n.Source) + RQuery(n.Target)
+	case xquery.Replace:
+		return RQuery(n.Target) + RQuery(n.Source)
+	case xquery.Rename:
+		return RQuery(n.Target)
+	default:
+		panic("infer: unknown update node")
+	}
+}
+
+// KUpdate computes k_u = max_a F(a, u) + R(u).
+func KUpdate(u xquery.Update) int {
+	tags := make(map[string]bool)
+	updateTags(u, tags)
+	return maxF(tags, func(a string) int { return FUpdate(a, u) }) + RUpdate(u)
+}
+
+// KPair computes the joint multiplicity k = k_q + k_u used by the
+// finite analysis (Theorem 5.1); it is at least 1 so the chain
+// universe is never empty.
+func KPair(q xquery.Query, u xquery.Update) int {
+	k := KQuery(q) + KUpdate(u)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

@@ -1,0 +1,94 @@
+package infer
+
+import (
+	"math/rand"
+	"testing"
+
+	"xqindep/internal/chain"
+	"xqindep/internal/dtd"
+	"xqindep/internal/eval"
+	"xqindep/internal/xmltree"
+	"xqindep/internal/xquery"
+)
+
+// TestProjectionSoundness validates Theorem 3.2 executably: projecting
+// a valid document to the nodes covered by the inferred used∪return
+// chains (ancestors of covered nodes, plus entire subtrees of return
+// nodes) must preserve the query result up to value equivalence.
+func TestProjectionSoundness(t *testing.T) {
+	type c struct {
+		d       *dtd.DTD
+		queries []string
+	}
+	corpora := []c{
+		{figure1, []string{"//a//c", "//b", "/doc", "//c/..", "//b/following-sibling::a",
+			"for $v in //node() return if ($v/c) then $v else ()"}},
+		{bib, []string{"//title", "//author/email", "//book[price]/title",
+			"for $b in //book return if ($b/author) then $b/title else ()"}},
+		{d1, []string{"/descendant::b", "/r/a/e", "/descendant::f/g"}},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, corpus := range corpora {
+		for trial := 0; trial < 6; trial++ {
+			tree, err := corpus.d.GenerateTree(rng, 0.6, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nu, err := corpus.d.TypeAssignment(tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, qs := range corpus.queries {
+				q := xquery.MustParseQuery(qs)
+				in := New(corpus.d, KQuery(q)+2)
+				qc := in.Query(in.RootEnv(), q)
+				keep := coveredNodes(tree, nu, qc)
+				tree.Store.UpwardClose(keep)
+				projected, _ := xmltree.Project(tree, keep)
+
+				origStore, origRes, err := eval.QueryTree(tree, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				projStore, projRes, err := eval.QueryTree(projected, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !xmltree.SequencesEquivalent(origStore, origRes, projStore, projRes) {
+					t.Errorf("projection changed the result of %q\n doc:  %s\n proj: %s",
+						qs, tree.Store.String(tree.Root), projected.Store.String(projected.Root))
+				}
+			}
+		}
+	}
+}
+
+// coveredNodes computes L_{r̄∪v}: nodes whose chain is a prefix of an
+// inferred used/return chain, plus all descendants of return-typed
+// nodes (the implicit subtree of a return chain).
+func coveredNodes(tree xmltree.Tree, nu map[xmltree.Loc]string, qc QueryChains) map[xmltree.Loc]bool {
+	keep := make(map[xmltree.Loc]bool)
+	covered := chain.Union(qc.Ret, qc.Used)
+	var walk func(l xmltree.Loc, c chain.Chain, inReturn bool)
+	walk = func(l xmltree.Loc, c chain.Chain, inReturn bool) {
+		cur := c.Extend(nu[l])
+		isRet := inReturn || qc.Ret.Contains(cur)
+		hit := isRet
+		if !hit {
+			for _, cc := range covered.Chains() {
+				if cur.IsPrefixOf(cc) {
+					hit = true
+					break
+				}
+			}
+		}
+		if hit {
+			keep[l] = true
+		}
+		for _, k := range tree.Store.Children(l) {
+			walk(k, cur, isRet)
+		}
+	}
+	walk(tree.Root, nil, false)
+	return keep
+}

@@ -1,0 +1,199 @@
+package infer
+
+import (
+	"fmt"
+
+	"xqindep/internal/chain"
+	"xqindep/internal/dtd"
+	"xqindep/internal/xquery"
+)
+
+// Env is the static environment Γ, binding variables to chain sets.
+type Env map[string]*chain.Set
+
+// Bind returns a copy of g with v bound to s.
+func (g Env) Bind(v string, s *chain.Set) Env {
+	out := make(Env, len(g)+1)
+	for k, val := range g {
+		out[k] = val
+	}
+	out[v] = s
+	return out
+}
+
+// RootEnv is the quasi-closed environment Γ = {x ↦ ds}.
+func (in *Inferrer) RootEnv() Env {
+	return Env{xquery.RootVar: chain.NewSet(in.RootChain())}
+}
+
+// QueryChains is the judgement result Γ ⊢C q : (r; v; e) — the
+// return, used and element chain sets of Table 1.
+type QueryChains struct {
+	Ret  *chain.Set
+	Used *chain.Set
+	Elem *chain.Set
+}
+
+func emptyChains() QueryChains {
+	return QueryChains{Ret: chain.NewSet(), Used: chain.NewSet(), Elem: chain.NewSet()}
+}
+
+// Query infers the chain sets of q under Γ, implementing Table 1.
+func (in *Inferrer) Query(g Env, q xquery.Query) QueryChains {
+	switch n := q.(type) {
+	case xquery.Empty:
+		return emptyChains() // (EMPTY)
+	case xquery.StringLit:
+		// (TEXT): a new text node, typed by the element chain S.
+		out := emptyChains()
+		out.Elem.Add(chain.New(dtd.StringType))
+		return out
+	case xquery.Var:
+		// $x abbreviates x/self::node(): return chains are Γ(x).
+		out := emptyChains()
+		out.Ret.AddAll(g[n.Name])
+		return out
+	case xquery.Step:
+		return in.stepRule(g, n)
+	case xquery.Sequence:
+		// (CONC)
+		l, r := in.Query(g, n.Left), in.Query(g, n.Right)
+		return QueryChains{
+			Ret:  chain.Union(l.Ret, r.Ret),
+			Used: chain.Union(l.Used, r.Used),
+			Elem: chain.Union(l.Elem, r.Elem),
+		}
+	case xquery.If:
+		// (IF): condition return chains become used.
+		c0 := in.Query(g, n.Cond)
+		c1 := in.Query(g, n.Then)
+		c2 := in.Query(g, n.Else)
+		return QueryChains{
+			Ret:  chain.Union(c1.Ret, c2.Ret),
+			Used: chain.Union(c0.Used, c1.Used, c2.Used, c0.Ret),
+			Elem: chain.Union(c1.Elem, c2.Elem),
+		}
+	case xquery.For:
+		return in.forRule(g, n)
+	case xquery.Let:
+		// (LET). The binding covers element chains too: when the bound
+		// query constructs elements or strings, the variable holds
+		// those items and the body still runs — iterating over return
+		// chains only would lose the body entirely (caught by the
+		// randomized differential test).
+		c1 := in.Query(g, n.Bind)
+		c2 := in.Query(g.Bind(n.Var, chain.Union(c1.Ret, c1.Elem)), n.Return)
+		return QueryChains{
+			Ret:  c2.Ret,
+			Used: chain.Union(c1.Ret, c1.Used, c2.Used),
+			Elem: c2.Elem,
+		}
+	case xquery.Element:
+		return in.elementRule(g, n)
+	default:
+		panic(fmt.Sprintf("infer: unknown query node %T", q))
+	}
+}
+
+// stepRule implements (STEPF) and (STEPUH).
+func (in *Inferrer) stepRule(g Env, n xquery.Step) QueryChains {
+	ctx, ok := g[n.Var]
+	if !ok {
+		// An unbound variable contributes no chains; the analyzer
+		// front-end checks quasi-closedness before inference.
+		return emptyChains()
+	}
+	out := emptyChains()
+	if n.Axis.IsForward() {
+		// (STEPF): no used chains — return chains extend the context,
+		// so every conflict is caught through them.
+		for _, c := range ctx.Chains() {
+			for _, rc := range in.StepChains(c, n.Axis, n.Test) {
+				out.Ret.Add(rc)
+			}
+		}
+		return out
+	}
+	// (STEPUH): upward/horizontal (and plain descendant) axes also
+	// convert productive context chains to used chains, because the
+	// result chains need not contain the context chain as a prefix.
+	for _, c := range ctx.Chains() {
+		rc := in.StepChains(c, n.Axis, n.Test)
+		for _, r := range rc {
+			out.Ret.Add(r)
+		}
+		if len(rc) > 0 {
+			out.Used.Add(c)
+		}
+	}
+	return out
+}
+
+// forRule implements (FOR): iterate the body once per return chain of
+// the binding query, filtering out iterations that produce nothing.
+//
+// A productive binding chain c becomes used — except when it is
+// subsumed: if the body constructs no elements and every return chain
+// extends c, any update chain that is a prefix of c is also a prefix
+// of those returns, so confl(U,r) already covers what confl(U,v) on c
+// would add. This keeps pure navigation (desugared multi-step paths)
+// from flooding the used set, matching the paper's treatment of paths
+// by composed (STEPF) steps — see the //node() filtering example of
+// Section 3.2.
+func (in *Inferrer) forRule(g Env, n xquery.For) QueryChains {
+	c1 := in.Query(g, n.In)
+	out := emptyChains()
+	out.Used.AddAll(c1.Used)
+	// Bindings iterate over returned input nodes AND constructed
+	// items: a for over an element or string query still executes its
+	// body once per constructed item.
+	for _, c := range chain.Union(c1.Ret, c1.Elem).Chains() {
+		body := in.Query(g.Bind(n.Var, chain.NewSet(c)), n.Return)
+		out.Ret.AddAll(body.Ret)
+		out.Elem.AddAll(body.Elem)
+		if body.Ret.IsEmpty() && body.Elem.IsEmpty() {
+			continue // unproductive iteration: fully filtered
+		}
+		out.Used.AddAll(body.Used)
+		if !body.Elem.IsEmpty() || !allExtend(c, body.Ret) {
+			out.Used.Add(c)
+		}
+	}
+	return out
+}
+
+// allExtend reports whether every chain of s has c as a prefix.
+func allExtend(c chain.Chain, s *chain.Set) bool {
+	for _, r := range s.Chains() {
+		if !c.IsPrefixOf(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// elementRule implements (ELT): constructed chains start at the new
+// tag; return chains of the content become used (with their subtree
+// extension r̄, preserving the "entire subtree" reading).
+func (in *Inferrer) elementRule(g Env, n xquery.Element) QueryChains {
+	inner := in.Query(g, n.Content)
+	out := emptyChains()
+	// e0 part 1: { a.α.c' | c.α ∈ r, c.α.c' ∈ C }.
+	for _, rc := range inner.Ret.Chains() {
+		for _, ext := range in.Extensions(rc) {
+			suffix := ext[rc.Len()-1:] // α.c'
+			out.Elem.Add(chain.New(n.Tag).Concat(suffix))
+		}
+	}
+	// e0 part 2: { a.c | c ∈ e } — nested constructors compose.
+	for _, ec := range inner.Elem.Chains() {
+		out.Elem.Add(chain.New(n.Tag).Concat(ec))
+	}
+	// e0 part 3: { a } when the content contributes nothing.
+	if inner.Ret.IsEmpty() && inner.Elem.IsEmpty() {
+		out.Elem.Add(chain.New(n.Tag))
+	}
+	// Used: r̄ ∪ v.
+	out.Used = chain.Union(in.ExtendSet(inner.Ret), inner.Used)
+	return out
+}

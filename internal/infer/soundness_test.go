@@ -1,0 +1,136 @@
+package infer
+
+import (
+	"math/rand"
+	"testing"
+
+	"xqindep/internal/dtd"
+	"xqindep/internal/eval"
+	"xqindep/internal/xmltree"
+	"xqindep/internal/xquery"
+)
+
+// TestSoundnessDifferential validates Theorem 5.1 end-to-end: for a
+// corpus of schemas, queries and updates, whenever the finite analysis
+// says "independent", executing the update must never change the query
+// result on any sampled valid document. (The converse need not hold —
+// the analysis is allowed to be conservative.)
+func TestSoundnessDifferential(t *testing.T) {
+	type corpus struct {
+		name    string
+		d       *dtd.DTD
+		queries []string
+		updates []string
+	}
+	corpora := []corpus{
+		{
+			name: "figure1",
+			d:    figure1,
+			queries: []string{
+				"//a//c", "//b//c", "//a", "//b", "/doc", "//c",
+				"//c/..", "//b/following-sibling::a", "//a/preceding-sibling::b",
+				"for $x in //a return <w>{$x/c}</w>",
+				"for $v in //node() return if ($v/c) then $v else ()",
+				"//c/ancestor::b",
+			},
+			updates: []string{
+				"delete //b//c", "delete //a//c", "delete //b", "delete //c",
+				"for $x in //b return rename $x as a",
+				"for $x in //b return insert <c/> into $x",
+				"for $x in //a/c return insert <c/> after $x",
+				"for $x in //a/c return replace $x with <c/>",
+				"()",
+			},
+		},
+		{
+			name: "bib",
+			d:    bib,
+			queries: []string{
+				"//title", "//author", "//author/email", "//price",
+				"//book[price]/title",
+				"for $b in //book return if ($b/author) then $b/title else ()",
+				"//author/first",
+			},
+			updates: []string{
+				"for $x in //book return insert <author/> into $x",
+				"for $x in //book return insert <author><first>U</first><last>E</last></author> into $x",
+				"delete //price",
+				"delete //author/email",
+				"for $x in //book return delete $x/author",
+				"for $a in //author return rename $a as author",
+				"for $p in //price return replace $p with <price>9</price>",
+			},
+		},
+		{
+			name: "recursive-d1",
+			d:    d1,
+			queries: []string{
+				"/descendant::b", "/descendant::g", "/r/a/e", "/r/a/b",
+				"/descendant::f/g", "/descendant::b/descendant::g",
+			},
+			updates: []string{
+				"delete /descendant::c",
+				"delete /r/a/b",
+				"delete /descendant::g",
+				"for $x in /descendant::e return delete $x/f",
+			},
+		},
+	}
+
+	rng := rand.New(rand.NewSource(20120827)) // VLDB 2012 started Aug 27
+	for _, c := range corpora {
+		// Sample documents once per corpus.
+		var trees []xmltree.Tree
+		for i := 0; i < 12; i++ {
+			tr, err := c.d.GenerateTree(rng, 0.6, 7)
+			if err != nil {
+				t.Fatalf("%s: GenerateTree: %v", c.name, err)
+			}
+			trees = append(trees, tr)
+		}
+		for _, qs := range c.queries {
+			q := xquery.MustParseQuery(qs)
+			for _, us := range c.updates {
+				u := xquery.MustParseUpdate(us)
+				v := Independence(c.d, q, u)
+				if !v.Independent {
+					continue
+				}
+				if i := eval.DependentOnAny(trees, q, u); i >= 0 {
+					t.Errorf("%s: UNSOUND: analysis says independent but document %d witnesses dependence\n  q = %s\n  u = %s\n  doc = %s\n  q-chains r=%v v=%v\n  u-chains %v (k=%d)",
+						c.name, i, qs, us, trees[i].Store.String(trees[i].Root),
+						v.Query.Ret, v.Query.Used, v.Update.Strings(), v.K)
+				}
+			}
+		}
+	}
+}
+
+// TestPrecisionWitness documents cases where the analysis correctly
+// detects independence that the runtime oracle confirms, covering both
+// directions on a fixed document set.
+func TestPrecisionWitness(t *testing.T) {
+	doc := xmltree.MustParse("<bib><book><title>t</title><author><first>f</first></author><price>9</price></book></bib>")
+	pairs := []struct {
+		q, u string
+	}{
+		{"//title", "for $x in //book return insert <author/> into $x"},
+		{"//title", "delete //price"},
+		{"//author/email", "for $x in //book return insert <author><first>U</first></author> into $x"},
+	}
+	for _, p := range pairs {
+		q := xquery.MustParseQuery(p.q)
+		u := xquery.MustParseUpdate(p.u)
+		v := Independence(bib, q, u)
+		if !v.Independent {
+			t.Errorf("analysis missed independence for %s vs %s: %v", p.q, p.u, v.Conflicts)
+		}
+		ok, err := eval.IndependentOn(doc, q, u)
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		if !ok {
+			t.Errorf("oracle contradicts claimed independence for %s vs %s", p.q, p.u)
+		}
+	}
+}

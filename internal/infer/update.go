@@ -1,0 +1,189 @@
+package infer
+
+import (
+	"fmt"
+	"sort"
+
+	"xqindep/internal/chain"
+	"xqindep/internal/xquery"
+)
+
+// UpdateSet is a set of update chains c:c' keyed by their printed
+// form.
+type UpdateSet struct {
+	m map[string]chain.UpdateChain
+}
+
+// NewUpdateSet builds a set from the given update chains.
+func NewUpdateSet(chains ...chain.UpdateChain) *UpdateSet {
+	s := &UpdateSet{m: make(map[string]chain.UpdateChain, len(chains))}
+	for _, c := range chains {
+		s.Add(c)
+	}
+	return s
+}
+
+// Add inserts u.
+func (s *UpdateSet) Add(u chain.UpdateChain) {
+	if s.m == nil {
+		s.m = make(map[string]chain.UpdateChain)
+	}
+	s.m[u.String()] = u
+}
+
+// AddAll inserts every chain of t.
+func (s *UpdateSet) AddAll(t *UpdateSet) {
+	for _, u := range t.m {
+		s.Add(u)
+	}
+}
+
+// Len returns the number of update chains.
+func (s *UpdateSet) Len() int { return len(s.m) }
+
+// Chains returns the update chains sorted by printed form.
+func (s *UpdateSet) Chains() []chain.UpdateChain {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]chain.UpdateChain, len(keys))
+	for i, k := range keys {
+		out[i] = s.m[k]
+	}
+	return out
+}
+
+// Strings returns the sorted printed forms.
+func (s *UpdateSet) Strings() []string {
+	cs := s.Chains()
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// FullChains returns the set { c.c' | c:c' ∈ s } used by the conflict
+// checks of Definition 4.1.
+func (s *UpdateSet) FullChains() *chain.Set {
+	out := chain.NewSet()
+	for _, u := range s.m {
+		out.Add(u.Full())
+	}
+	return out
+}
+
+// Update infers the update chains of u under Γ, implementing Table 2
+// (with the full rule set for composite updates from the technical
+// report).
+//
+// One deviation from the published Table 2: the third component of
+// (REPLACE) is printed there as { c:c' | c ∈ r0, c' ∈ e }, which types
+// constructed replacement elements *below* the replaced node. Since
+// replacement elements take the place of the target — they become
+// children of the target's *parent* — the sound reading (matching
+// (INSERT-2), which handles the same before/after placement) is
+// { c:c' | c.α ∈ r0, c' ∈ e }, and that is what this implementation
+// uses. The differential soundness tests in package core exercise
+// exactly this case (replace with a constructor vs a query returning
+// the new tag).
+func (in *Inferrer) Update(g Env, u xquery.Update) *UpdateSet {
+	switch n := u.(type) {
+	case xquery.UEmpty:
+		return NewUpdateSet()
+	case xquery.USeq:
+		out := in.Update(g, n.Left)
+		out.AddAll(in.Update(g, n.Right))
+		return out
+	case xquery.UIf:
+		// Conditions do not change data; their chains do not enter U.
+		out := in.Update(g, n.Then)
+		out.AddAll(in.Update(g, n.Else))
+		return out
+	case xquery.UFor:
+		// Like (FOR): the body runs once per returned input node and
+		// once per constructed item of the binding query.
+		c1 := in.Query(g, n.In)
+		out := NewUpdateSet()
+		for _, c := range chain.Union(c1.Ret, c1.Elem).Chains() {
+			out.AddAll(in.Update(g.Bind(n.Var, chain.NewSet(c)), n.Body))
+		}
+		return out
+	case xquery.ULet:
+		c1 := in.Query(g, n.Bind)
+		return in.Update(g.Bind(n.Var, chain.Union(c1.Ret, c1.Elem)), n.Body)
+	case xquery.Delete:
+		// (DELETE): U = { c:α | c.α ∈ r0 }.
+		r0 := in.Query(g, n.Target).Ret
+		out := NewUpdateSet()
+		for _, c := range r0.Chains() {
+			if c.Len() >= 1 {
+				out.Add(chain.NewUpdate(c.Parent(), chain.New(c.Last())))
+			}
+		}
+		return out
+	case xquery.Rename:
+		// (RENAME): U = { c:α | c.α ∈ r0 } ∪ { c:b | c.α ∈ r0 }.
+		r0 := in.Query(g, n.Target).Ret
+		out := NewUpdateSet()
+		for _, c := range r0.Chains() {
+			if c.Len() >= 1 {
+				out.Add(chain.NewUpdate(c.Parent(), chain.New(c.Last())))
+				out.Add(chain.NewUpdate(c.Parent(), chain.New(n.As)))
+			}
+		}
+		return out
+	case xquery.Insert:
+		src := in.Query(g, n.Source)
+		r0 := in.Query(g, n.Target).Ret
+		out := NewUpdateSet()
+		for _, tc := range r0.Chains() {
+			// The prefix typing the node whose content changes: the
+			// target itself for into-positions (INSERT-1), its parent
+			// for before/after (INSERT-2).
+			prefix := tc
+			if !n.Pos.IsInto() {
+				if tc.Len() < 2 {
+					continue // inserting beside the root: no parent
+				}
+				prefix = tc.Parent()
+			}
+			in.addSourceChains(out, prefix, src)
+		}
+		return out
+	case xquery.Replace:
+		src := in.Query(g, n.Source)
+		r0 := in.Query(g, n.Target).Ret
+		out := NewUpdateSet()
+		for _, tc := range r0.Chains() {
+			if tc.Len() < 1 {
+				continue
+			}
+			prefix := tc.Parent()
+			// Removal of the target node.
+			out.Add(chain.NewUpdate(prefix, chain.New(tc.Last())))
+			// Insertion of the source under the target's parent.
+			in.addSourceChains(out, prefix, src)
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("infer: unknown update node %T", u))
+	}
+}
+
+// addSourceChains adds the update chains typing source content placed
+// under prefix: { prefix : c' | c' ∈ e } for constructed elements and
+// { prefix : α.c” | c'.α ∈ r, c'.α.c” ∈ C } for copied input nodes.
+func (in *Inferrer) addSourceChains(out *UpdateSet, prefix chain.Chain, src QueryChains) {
+	for _, ec := range src.Elem.Chains() {
+		out.Add(chain.NewUpdate(prefix, ec))
+	}
+	for _, rc := range src.Ret.Chains() {
+		for _, ext := range in.Extensions(rc) {
+			suffix := ext[rc.Len()-1:] // α.c''
+			out.Add(chain.NewUpdate(prefix, suffix))
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package pathanalysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"xqindep/internal/dtd"
+	"xqindep/internal/eval"
+	"xqindep/internal/xmltree"
+	"xqindep/internal/xquery"
+)
+
+func pat(items ...item) Pattern { return Pattern(items) }
+
+func sym(s string) item { return item{kind: itemSym, sym: s} }
+func anyItem() item     { return item{kind: itemAny} }
+func desc() item        { return item{kind: itemDesc} }
+
+func TestOverlap(t *testing.T) {
+	cases := []struct {
+		p, q Pattern
+		want bool
+	}{
+		{pat(sym("a")), pat(sym("a")), true},
+		{pat(sym("a")), pat(sym("b")), false},
+		{pat(sym("a")), pat(sym("a"), sym("b")), true}, // prefix
+		{pat(sym("a"), sym("b")), pat(sym("a")), true}, // prefix other way
+		{pat(desc(), sym("c")), pat(desc(), sym("c")), true},
+		// The paper's motivating case: //a//c and //b//c overlap
+		// without a schema (e.g. /a/b/c matches both).
+		{pat(desc(), sym("a"), desc(), sym("c")), pat(desc(), sym("b"), desc(), sym("c")), true},
+		{pat(sym("a"), sym("c")), pat(sym("b"), sym("c")), false},
+		{pat(anyItem()), pat(sym("z")), true},
+		{pat(desc()), pat(sym("x"), sym("y")), true},
+		{pat(), pat(sym("x")), true},                                     // root is a prefix of everything
+		{pat(sym("a"), desc(), sym("b")), pat(sym("a"), sym("c")), true}, // /a/c prefix of /a/c/.../b? no — but /a/c extends to /a/c/b which matches p
+	}
+	for _, c := range cases {
+		if got := Overlap(c.p, c.q); got != c.want {
+			t.Errorf("Overlap(%s, %s) = %v, want %v", c.p, c.q, got, c.want)
+		}
+		if got := Overlap(c.q, c.p); got != c.want {
+			t.Errorf("Overlap(%s, %s) (swapped) = %v, want %v", c.q, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := pat(desc(), sym("a"), anyItem())
+	if p.String() != "////a/*" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+// TestPaperIntroCases: the schema-less analysis cannot detect
+// independence for q1/u1 and q2/u2 (Section 1) — both are flagged
+// dependent.
+func TestPaperIntroCases(t *testing.T) {
+	v1 := Independence(xquery.MustParseQuery("//a//c"), xquery.MustParseUpdate("delete //b//c"))
+	if v1.Independent {
+		t.Errorf("path analysis unexpectedly separates //a//c from delete //b//c")
+	}
+	v2 := Independence(xquery.MustParseQuery("//title"),
+		xquery.MustParseUpdate("for $x in //book return insert <author/> into $x"))
+	if v2.Independent {
+		t.Errorf("path analysis unexpectedly separates //title from the author insert")
+	}
+	// But lexically disjoint downward paths are detected.
+	v3 := Independence(xquery.MustParseQuery("/a/b"), xquery.MustParseUpdate("delete /a/c"))
+	if !v3.Independent {
+		t.Errorf("path analysis missed a trivially disjoint pair: %v vs %v (witness %v)",
+			v3.QueryPatterns, v3.UpdatePatterns, v3.Witness)
+	}
+}
+
+func TestUpwardAxesDegrade(t *testing.T) {
+	v := Independence(xquery.MustParseQuery("//c/.."), xquery.MustParseUpdate("delete /x/y"))
+	if v.Independent {
+		t.Errorf("upward navigation must degrade to 'anywhere' and conflict")
+	}
+}
+
+// TestPathSoundness: differential soundness of the schema-less
+// baseline over generated documents.
+func TestPathSoundness(t *testing.T) {
+	d := dtd.MustParse(`
+doc <- (a | b)*
+a <- c
+b <- c
+c <- ()
+`)
+	rng := rand.New(rand.NewSource(6))
+	var trees []xmltree.Tree
+	for i := 0; i < 10; i++ {
+		tr, err := d.GenerateTree(rng, 0.6, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tr)
+	}
+	queries := []string{"//a//c", "//b", "/doc/a", "//c", "/doc"}
+	updates := []string{"delete //b//c", "delete //c", "delete /doc/a",
+		"for $x in //b return insert <c/> into $x"}
+	for _, qs := range queries {
+		for _, us := range updates {
+			q := xquery.MustParseQuery(qs)
+			u := xquery.MustParseUpdate(us)
+			if !Independence(q, u).Independent {
+				continue
+			}
+			if i := eval.DependentOnAny(trees, q, u); i >= 0 {
+				t.Errorf("UNSOUND path baseline for q=%s u=%s (doc %s)",
+					qs, us, trees[i].Store.String(trees[i].Root))
+			}
+		}
+	}
+}

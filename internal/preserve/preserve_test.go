@@ -1,0 +1,149 @@
+package preserve
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xqindep/internal/dtd"
+	"xqindep/internal/eval"
+	"xqindep/internal/xmark"
+	"xqindep/internal/xmltree"
+	"xqindep/internal/xquery"
+)
+
+var bib = dtd.MustParse(`
+bib <- book*
+book <- title, author*, price?
+title <- #PCDATA
+author <- first?, last?, email?
+first <- #PCDATA
+last <- #PCDATA
+email <- #PCDATA
+price <- #PCDATA
+`)
+
+func TestCheckVerdicts(t *testing.T) {
+	cases := []struct {
+		update string
+		want   bool
+		reason string // substring expected in a reason when !want
+	}{
+		{"delete //author", true, ""},
+		{"delete //price", true, ""},
+		{"delete //title", false, "deleting title"},
+		{"delete //book", true, ""},
+		{"delete /bib", false, "root"},
+		// "into" may place content at any position (W3C), so inserting
+		// an author that could land before the title is flagged.
+		{"for $b in //book return insert <author/> into $b", false, "inserting"},
+		{"for $b in //book return insert <title>x</title> into $b", false, "inserting"},
+		{"for $b in //book return insert <price>9</price> into $b", false, "inserting"},
+		{"for $a in //author return insert <email>e</email> into $a", false, "inserting"}, // email? admits one only
+		{"for $b in //book return insert <zzz/> into $b", false, "not declared"},
+		{"for $a in //book/author return rename $a as author", true, ""},
+		{"for $a in //book/author return rename $a as price", false, "renaming"},
+		{"for $p in //price return replace $p with <price>0</price>", true, ""},
+		{"for $p in //price return replace $p with <title>t</title>", false, "replacing"},
+		{"for $b in //book return insert <author><first>U</first></author> into $b", false, "inserting"},
+		{"for $b in //book return insert <author><price>9</price></author> into $b", false, "does not match"},
+		{"for $b in //book return insert <author>{$b/title}</author> into $b", false, "query holes"},
+		{"()", true, ""},
+	}
+	for _, c := range cases {
+		u := xquery.MustParseUpdate(c.update)
+		v := Check(bib, u)
+		if v.Preserves != c.want {
+			t.Errorf("Check(%q) = %v, want %v (reasons %v)", c.update, v.Preserves, c.want, v.Reasons)
+			continue
+		}
+		if !c.want {
+			found := false
+			for _, r := range v.Reasons {
+				if strings.Contains(r, c.reason) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("Check(%q) reasons %v lack %q", c.update, v.Reasons, c.reason)
+			}
+		}
+	}
+}
+
+// TestCheckSoundOnXMarkWorkload: every benchmark update marked
+// schema-preserving in the workload must pass the checker, and the
+// checker's positive verdicts must survive dynamic validation.
+func TestCheckSoundOnXMarkWorkload(t *testing.T) {
+	d := xmark.Schema()
+	docs := xmark.SampleDocuments(2, 1)
+	for _, u := range xmark.Updates() {
+		v := Check(d, u.AST)
+		if u.PreservesSchema && !v.Preserves {
+			t.Errorf("workload says %s preserves the schema, checker disagrees: %v", u.Name, v.Reasons)
+		}
+		if !v.Preserves {
+			continue
+		}
+		// Dynamic confirmation.
+		for _, doc := range docs {
+			s := xmltree.NewStore()
+			root := s.Copy(doc.Store, doc.Root)
+			if err := eval.Update(s, eval.RootEnv(root), u.AST); err != nil {
+				continue
+			}
+			if err := d.Validate(xmltree.NewTree(s, root)); err != nil {
+				t.Errorf("checker approved %s but document became invalid: %v", u.Name, err)
+			}
+		}
+	}
+}
+
+// TestCheckDifferential fuzz-checks the positive direction: whenever
+// the checker approves an update, applying it to random valid
+// documents must never break validity.
+func TestCheckDifferential(t *testing.T) {
+	schemas := []*dtd.DTD{
+		bib,
+		dtd.MustParse("doc <- (a | b)*\na <- c?\nb <- c?\nc <- #PCDATA"),
+		dtd.MustParse("r <- x*\nx <- (y | z)*\ny <- x?\nz <- #PCDATA"),
+	}
+	updates := []string{
+		"delete //a", "delete //c", "delete //x", "delete //y", "delete //z",
+		"for $v in //a return insert <c>t</c> into $v",
+		"for $v in //doc return insert <a/> into $v",
+		"for $v in //x return insert <z>s</z> into $v",
+		"for $v in //a return rename $v as b",
+		"for $v in //y return rename $v as z",
+		"for $v in //c return replace $v with <c>new</c>",
+		"for $v in //z return replace $v with <y/>",
+	}
+	rng := rand.New(rand.NewSource(23))
+	for _, d := range schemas {
+		var docs []xmltree.Tree
+		for i := 0; i < 6; i++ {
+			tr, err := d.GenerateTree(rng, 0.6, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			docs = append(docs, tr)
+		}
+		for _, us := range updates {
+			u := xquery.MustParseUpdate(us)
+			if !Check(d, u).Preserves {
+				continue
+			}
+			for _, doc := range docs {
+				s := xmltree.NewStore()
+				root := s.Copy(doc.Store, doc.Root)
+				if err := eval.Update(s, eval.RootEnv(root), u); err != nil {
+					continue
+				}
+				if err := d.Validate(xmltree.NewTree(s, root)); err != nil {
+					t.Errorf("UNSOUND preservation verdict for %q on schema %s: %v\ndoc: %s",
+						us, d.Start, err, doc.Store.String(doc.Root))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package xmark provides the benchmark substrate of the paper's
+// evaluation (Section 6.2): the XMark auction schema, a scalable
+// generator of valid auction documents, the 36 views (XMark q1–q20
+// and XPathMark A1–A8/B1–B8 rewritten into the supported fragment)
+// and the 31 updates (UA1–8, UB1–8, UI1–5, UN1–5, UP1–5).
+//
+// The exact rewritten expression texts used by the paper live in its
+// unavailable technical report; the expressions here are re-authored
+// from the public XMark/XPathMark definitions under the same rewriting
+// rules (disjunctive predicates, no attributes, paths extracted from
+// functions and arithmetic) and with the same axis profile: A-views
+// use downward axes only, B-views also use upward and horizontal axes.
+package xmark
+
+import (
+	"sync"
+
+	"xqindep/internal/dtd"
+)
+
+// SchemaText is the XMark auction DTD with attribute declarations
+// dropped (the paper's rewriting removes attribute use). It matches
+// the published auction.dtd structure: the recursive description
+// markup (text/bold/keyword/emph and parlist/listitem) forms the two
+// mutually recursive cliques of size 3 and 2 the paper highlights.
+const SchemaText = `
+<!ELEMENT site            (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+<!ELEMENT categories      (category+)>
+<!ELEMENT category        (name, description)>
+<!ELEMENT name            (#PCDATA)>
+<!ELEMENT description     (text | parlist)>
+<!ELEMENT text            (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT bold            (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT keyword         (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT emph            (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT parlist         (listitem)*>
+<!ELEMENT listitem        (text | parlist)*>
+<!ELEMENT catgraph        (edge*)>
+<!ELEMENT edge            EMPTY>
+<!ELEMENT regions         (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa          (item*)>
+<!ELEMENT asia            (item*)>
+<!ELEMENT australia       (item*)>
+<!ELEMENT europe          (item*)>
+<!ELEMENT namerica        (item*)>
+<!ELEMENT samerica        (item*)>
+<!ELEMENT item            (location, quantity, name, payment, description, shipping, incategory+, mailbox)>
+<!ELEMENT location        (#PCDATA)>
+<!ELEMENT quantity        (#PCDATA)>
+<!ELEMENT payment         (#PCDATA)>
+<!ELEMENT shipping        (#PCDATA)>
+<!ELEMENT incategory      EMPTY>
+<!ELEMENT mailbox         (mail*)>
+<!ELEMENT mail            (from, to, date, text)>
+<!ELEMENT from            (#PCDATA)>
+<!ELEMENT to              (#PCDATA)>
+<!ELEMENT date            (#PCDATA)>
+<!ELEMENT people          (person*)>
+<!ELEMENT person          (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ELEMENT emailaddress    (#PCDATA)>
+<!ELEMENT phone           (#PCDATA)>
+<!ELEMENT address         (street, city, country, province?, zipcode)>
+<!ELEMENT street          (#PCDATA)>
+<!ELEMENT city            (#PCDATA)>
+<!ELEMENT country         (#PCDATA)>
+<!ELEMENT province        (#PCDATA)>
+<!ELEMENT zipcode         (#PCDATA)>
+<!ELEMENT homepage        (#PCDATA)>
+<!ELEMENT creditcard      (#PCDATA)>
+<!ELEMENT profile         (interest*, education?, gender?, business, age?)>
+<!ELEMENT interest        EMPTY>
+<!ELEMENT education       (#PCDATA)>
+<!ELEMENT gender          (#PCDATA)>
+<!ELEMENT business        (#PCDATA)>
+<!ELEMENT age             (#PCDATA)>
+<!ELEMENT watches         (watch*)>
+<!ELEMENT watch           EMPTY>
+<!ELEMENT open_auctions   (open_auction*)>
+<!ELEMENT open_auction    (initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)>
+<!ELEMENT initial         (#PCDATA)>
+<!ELEMENT reserve         (#PCDATA)>
+<!ELEMENT bidder          (date, time, personref, increase)>
+<!ELEMENT time            (#PCDATA)>
+<!ELEMENT personref       EMPTY>
+<!ELEMENT increase        (#PCDATA)>
+<!ELEMENT current         (#PCDATA)>
+<!ELEMENT privacy         (#PCDATA)>
+<!ELEMENT itemref         EMPTY>
+<!ELEMENT seller          EMPTY>
+<!ELEMENT annotation      (author, description?, happiness)>
+<!ELEMENT author          EMPTY>
+<!ELEMENT happiness       (#PCDATA)>
+<!ELEMENT type            (#PCDATA)>
+<!ELEMENT interval        (start, end)>
+<!ELEMENT start           (#PCDATA)>
+<!ELEMENT end             (#PCDATA)>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction  (seller, buyer, itemref, price, date, quantity, type, annotation?)>
+<!ELEMENT buyer           EMPTY>
+<!ELEMENT price           (#PCDATA)>
+`
+
+var (
+	schemaOnce sync.Once
+	schema     *dtd.DTD
+)
+
+// Schema returns the parsed XMark DTD (parsed once).
+func Schema() *dtd.DTD {
+	schemaOnce.Do(func() {
+		schema = dtd.MustParse(SchemaText)
+	})
+	return schema
+}

@@ -1,0 +1,383 @@
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xqindep/internal/xmltree"
+)
+
+// Generator builds pseudo-random valid XMark auction documents. It is
+// the substitute for the original xmlgen tool: entity counts grow
+// linearly with Factor, like xmlgen's scaling factor.
+type Generator struct {
+	// Factor scales entity counts; 1.0 yields a document in the
+	// hundred-kilobyte range, 10 in the megabyte range.
+	Factor float64
+	// Rng drives all choices; required.
+	Rng *rand.Rand
+}
+
+// Generate builds one document into a fresh store.
+func (g *Generator) Generate() xmltree.Tree {
+	s := xmltree.NewStore()
+	b := &builder{s: s, rng: g.Rng}
+	n := func(base int) int {
+		v := int(float64(base) * g.Factor)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+
+	site := b.el("site")
+	// regions: six continents with items. The first item overall is
+	// deterministically "rich" (full mailbox markup, textual
+	// description with keywords) so that every benchmark view and
+	// update has witnesses at any scale factor.
+	regions := b.el("regions")
+	s.AppendChild(site, regions)
+	for ci, cont := range []string{"africa", "asia", "australia", "europe", "namerica", "samerica"} {
+		c := b.el(cont)
+		s.AppendChild(regions, c)
+		for i := 0; i < n(4); i++ {
+			s.AppendChild(c, b.item(ci == 0 && i == 0))
+		}
+	}
+	// categories.
+	cats := b.el("categories")
+	s.AppendChild(site, cats)
+	for i := 0; i < n(5); i++ {
+		cat := b.el("category")
+		s.AppendChild(cats, cat)
+		s.AppendChild(cat, b.textEl("name"))
+		if i == 0 {
+			// Guaranteed keyword inside a category description.
+			d := b.el("description")
+			s.AppendChild(cat, d)
+			txt := b.el("text")
+			s.AppendChild(d, txt)
+			kw := b.el("keyword")
+			s.AppendChild(txt, kw)
+			s.AppendChild(kw, s.NewText(b.word()))
+		} else {
+			s.AppendChild(cat, b.description(2))
+		}
+	}
+	// catgraph.
+	graph := b.el("catgraph")
+	s.AppendChild(site, graph)
+	for i := 0; i < n(3); i++ {
+		s.AppendChild(graph, b.el("edge"))
+	}
+	// people: the first person carries every optional part.
+	people := b.el("people")
+	s.AppendChild(site, people)
+	for i := 0; i < n(10); i++ {
+		s.AppendChild(people, b.person(i == 0))
+	}
+	// open auctions: the first one has two bidders (horizontal-axis
+	// views) and a privacy flag.
+	opens := b.el("open_auctions")
+	s.AppendChild(site, opens)
+	for i := 0; i < n(6); i++ {
+		s.AppendChild(opens, b.openAuction(i == 0))
+	}
+	// closed auctions: the first one carries the deep q15 annotation
+	// chain annotation/description/parlist/listitem/parlist/listitem/
+	// text/emph/keyword; the second a guaranteed flat
+	// annotation/description/text/keyword (the A1 path). n(5) ≥ 1, so
+	// at factor < 0.4 the deep variant wins.
+	closed := b.el("closed_auctions")
+	s.AppendChild(site, closed)
+	for i := 0; i < n(5); i++ {
+		s.AppendChild(closed, b.closedAuction(i))
+	}
+	return xmltree.NewTree(s, site)
+}
+
+type builder struct {
+	s   *xmltree.Store
+	rng *rand.Rand
+}
+
+func (b *builder) el(tag string) xmltree.Loc { return b.s.NewElement(tag) }
+
+func (b *builder) word() string {
+	words := []string{"summer", "river", "auction", "golden", "market", "paper",
+		"stone", "quiet", "yellow", "harbor", "cedar", "violet", "copper", "prairie"}
+	return words[b.rng.Intn(len(words))]
+}
+
+func (b *builder) textEl(tag string) xmltree.Loc {
+	el := b.el(tag)
+	b.s.AppendChild(el, b.s.NewText(b.word()))
+	return el
+}
+
+func (b *builder) number(tag string) xmltree.Loc {
+	el := b.el(tag)
+	b.s.AppendChild(el, b.s.NewText(fmt.Sprintf("%d", b.rng.Intn(1000))))
+	return el
+}
+
+// markup builds the recursive mixed-content family rooted at one of
+// text/bold/keyword/emph, to the given depth.
+func (b *builder) markup(tag string, depth int) xmltree.Loc {
+	el := b.el(tag)
+	parts := 1 + b.rng.Intn(3)
+	for i := 0; i < parts; i++ {
+		if depth > 0 && b.rng.Intn(3) == 0 {
+			kids := []string{"bold", "keyword", "emph"}
+			b.s.AppendChild(el, b.markup(kids[b.rng.Intn(3)], depth-1))
+		} else {
+			b.s.AppendChild(el, b.s.NewText(b.word()))
+		}
+	}
+	return el
+}
+
+// description builds (text | parlist), recursing through parlist and
+// listitem to the given depth.
+func (b *builder) description(depth int) xmltree.Loc {
+	d := b.el("description")
+	if depth > 0 && b.rng.Intn(2) == 0 {
+		b.s.AppendChild(d, b.parlist(depth-1))
+	} else {
+		b.s.AppendChild(d, b.markup("text", depth))
+	}
+	return d
+}
+
+func (b *builder) parlist(depth int) xmltree.Loc {
+	pl := b.el("parlist")
+	items := 1 + b.rng.Intn(2)
+	for i := 0; i < items; i++ {
+		li := b.el("listitem")
+		b.s.AppendChild(pl, li)
+		if depth > 0 && b.rng.Intn(2) == 0 {
+			b.s.AppendChild(li, b.parlist(depth-1))
+		} else {
+			b.s.AppendChild(li, b.markup("text", depth))
+		}
+	}
+	return pl
+}
+
+func (b *builder) item(rich bool) xmltree.Loc {
+	it := b.el("item")
+	b.s.AppendChild(it, b.textEl("location"))
+	b.s.AppendChild(it, b.number("quantity"))
+	b.s.AppendChild(it, b.textEl("name"))
+	b.s.AppendChild(it, b.textEl("payment"))
+	if rich {
+		// Guaranteed item/description/text with keyword and emph.
+		d := b.el("description")
+		b.s.AppendChild(it, d)
+		txt := b.el("text")
+		b.s.AppendChild(d, txt)
+		kw := b.el("keyword")
+		b.s.AppendChild(txt, kw)
+		b.s.AppendChild(kw, b.s.NewText(b.word()))
+		em := b.el("emph")
+		b.s.AppendChild(txt, em)
+		b.s.AppendChild(em, b.s.NewText(b.word()))
+	} else {
+		b.s.AppendChild(it, b.description(2))
+	}
+	b.s.AppendChild(it, b.textEl("shipping"))
+	for i := 0; i <= b.rng.Intn(2); i++ {
+		b.s.AppendChild(it, b.el("incategory"))
+	}
+	mb := b.el("mailbox")
+	b.s.AppendChild(it, mb)
+	mails := b.rng.Intn(3)
+	if rich {
+		mails = 1
+	}
+	for i := 0; i < mails; i++ {
+		m := b.el("mail")
+		b.s.AppendChild(mb, m)
+		b.s.AppendChild(m, b.textEl("from"))
+		b.s.AppendChild(m, b.textEl("to"))
+		b.s.AppendChild(m, b.textEl("date"))
+		if rich && i == 0 {
+			// Guaranteed mail/text/bold (update UN4's target).
+			txt := b.el("text")
+			b.s.AppendChild(m, txt)
+			bo := b.el("bold")
+			b.s.AppendChild(txt, bo)
+			b.s.AppendChild(bo, b.s.NewText(b.word()))
+		} else {
+			b.s.AppendChild(m, b.markup("text", 1))
+		}
+	}
+	return it
+}
+
+func (b *builder) person(full bool) xmltree.Loc {
+	coin := func() bool { return full || b.rng.Intn(2) == 0 }
+	p := b.el("person")
+	b.s.AppendChild(p, b.textEl("name"))
+	b.s.AppendChild(p, b.textEl("emailaddress"))
+	if coin() {
+		b.s.AppendChild(p, b.textEl("phone"))
+	}
+	if coin() {
+		a := b.el("address")
+		b.s.AppendChild(p, a)
+		b.s.AppendChild(a, b.textEl("street"))
+		b.s.AppendChild(a, b.textEl("city"))
+		b.s.AppendChild(a, b.textEl("country"))
+		if coin() {
+			b.s.AppendChild(a, b.textEl("province"))
+		}
+		b.s.AppendChild(a, b.textEl("zipcode"))
+	}
+	if coin() {
+		b.s.AppendChild(p, b.textEl("homepage"))
+	}
+	if coin() {
+		b.s.AppendChild(p, b.textEl("creditcard"))
+	}
+	if coin() {
+		pr := b.el("profile")
+		b.s.AppendChild(p, pr)
+		for i := 0; i < b.rng.Intn(3); i++ {
+			b.s.AppendChild(pr, b.el("interest"))
+		}
+		if coin() {
+			b.s.AppendChild(pr, b.textEl("education"))
+		}
+		if coin() {
+			b.s.AppendChild(pr, b.textEl("gender"))
+		}
+		b.s.AppendChild(pr, b.textEl("business"))
+		if coin() {
+			b.s.AppendChild(pr, b.number("age"))
+		}
+	}
+	if coin() {
+		w := b.el("watches")
+		b.s.AppendChild(p, w)
+		n := b.rng.Intn(3)
+		if full && n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			b.s.AppendChild(w, b.el("watch"))
+		}
+	}
+	return p
+}
+
+func (b *builder) openAuction(first bool) xmltree.Loc {
+	a := b.el("open_auction")
+	b.s.AppendChild(a, b.number("initial"))
+	if first || b.rng.Intn(2) == 0 {
+		b.s.AppendChild(a, b.number("reserve"))
+	}
+	bidders := b.rng.Intn(4)
+	if first {
+		bidders = 2
+	}
+	for i := 0; i < bidders; i++ {
+		bd := b.el("bidder")
+		b.s.AppendChild(a, bd)
+		b.s.AppendChild(bd, b.textEl("date"))
+		b.s.AppendChild(bd, b.textEl("time"))
+		b.s.AppendChild(bd, b.el("personref"))
+		b.s.AppendChild(bd, b.number("increase"))
+	}
+	b.s.AppendChild(a, b.number("current"))
+	if first || b.rng.Intn(2) == 0 {
+		b.s.AppendChild(a, b.textEl("privacy"))
+	}
+	b.s.AppendChild(a, b.el("itemref"))
+	b.s.AppendChild(a, b.el("seller"))
+	b.s.AppendChild(a, b.annotation(false))
+	b.s.AppendChild(a, b.number("quantity"))
+	b.s.AppendChild(a, b.textEl("type"))
+	iv := b.el("interval")
+	b.s.AppendChild(a, iv)
+	b.s.AppendChild(iv, b.textEl("start"))
+	b.s.AppendChild(iv, b.textEl("end"))
+	return a
+}
+
+func (b *builder) annotation(deep bool) xmltree.Loc {
+	an := b.el("annotation")
+	b.s.AppendChild(an, b.el("author"))
+	if deep {
+		// The q15 chain: description/parlist/listitem/parlist/listitem/
+		// text/emph/keyword, plus a direct text/keyword for A1 and a
+		// listitem/text/keyword pair for B2.
+		d := b.el("description")
+		b.s.AppendChild(an, d)
+		pl := b.el("parlist")
+		b.s.AppendChild(d, pl)
+		li := b.el("listitem")
+		b.s.AppendChild(pl, li)
+		pl2 := b.el("parlist")
+		b.s.AppendChild(li, pl2)
+		li2 := b.el("listitem")
+		b.s.AppendChild(pl2, li2)
+		txt := b.el("text")
+		b.s.AppendChild(li2, txt)
+		em := b.el("emph")
+		b.s.AppendChild(txt, em)
+		kw := b.el("keyword")
+		b.s.AppendChild(em, kw)
+		b.s.AppendChild(kw, b.s.NewText(b.word()))
+		kw2 := b.el("keyword")
+		b.s.AppendChild(txt, kw2)
+		b.s.AppendChild(kw2, b.s.NewText(b.word()))
+		bo := b.el("bold")
+		b.s.AppendChild(txt, bo)
+		b.s.AppendChild(bo, b.s.NewText(b.word()))
+	} else if b.rng.Intn(4) != 0 {
+		b.s.AppendChild(an, b.description(2))
+	}
+	b.s.AppendChild(an, b.number("happiness"))
+	return an
+}
+
+// closedAuction builds one closed auction; index 0 gets the deep
+// parlist annotation (the q15 chain), index 1 a guaranteed flat
+// text/keyword annotation (the A1 path), the rest are random.
+func (b *builder) closedAuction(index int) xmltree.Loc {
+	a := b.el("closed_auction")
+	b.s.AppendChild(a, b.el("seller"))
+	b.s.AppendChild(a, b.el("buyer"))
+	b.s.AppendChild(a, b.el("itemref"))
+	b.s.AppendChild(a, b.number("price"))
+	b.s.AppendChild(a, b.textEl("date"))
+	b.s.AppendChild(a, b.number("quantity"))
+	b.s.AppendChild(a, b.textEl("type"))
+	switch {
+	case index == 0:
+		b.s.AppendChild(a, b.annotation(true))
+	case index == 1:
+		an := b.el("annotation")
+		b.s.AppendChild(a, an)
+		b.s.AppendChild(an, b.el("author"))
+		d := b.el("description")
+		b.s.AppendChild(an, d)
+		txt := b.el("text")
+		b.s.AppendChild(d, txt)
+		kw := b.el("keyword")
+		b.s.AppendChild(txt, kw)
+		b.s.AppendChild(kw, b.s.NewText(b.word()))
+		b.s.AppendChild(an, b.number("happiness"))
+	case b.rng.Intn(3) != 0:
+		b.s.AppendChild(a, b.annotation(false))
+	}
+	return a
+}
+
+// GenerateDocument is the convenience wrapper used by benchmarks:
+// a deterministic document at the given scale factor.
+func GenerateDocument(seed int64, factor float64) xmltree.Tree {
+	g := &Generator{Factor: factor, Rng: rand.New(rand.NewSource(seed))}
+	return g.Generate()
+}

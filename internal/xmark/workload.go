@@ -1,0 +1,229 @@
+package xmark
+
+import (
+	"fmt"
+	"sync"
+
+	"xqindep/internal/xquery"
+)
+
+// View is one named benchmark query.
+type View struct {
+	Name string
+	Text string
+	AST  xquery.Query
+}
+
+// Upd is one named benchmark update.
+type Upd struct {
+	Name string
+	Text string
+	AST  xquery.Update
+	// PreservesSchema records whether applying the update keeps
+	// documents valid (the paper notes several delete-updates do not;
+	// the analysis stays correct for them since deletions create no
+	// new chains).
+	PreservesSchema bool
+}
+
+// xpathMarkA are the downward-only XPathMark view paths A1–A8
+// (re-authored structural forms; see the package comment).
+var xpathMarkA = []string{
+	// A1: the canonical deep path.
+	"/site/closed_auctions/closed_auction/annotation/description/text/keyword",
+	// A2: unanchored descendant search.
+	"//closed_auction//keyword",
+	// A3: anchored prefix, descendant suffix.
+	"/site/closed_auctions/closed_auction//keyword",
+	// A4: predicate on a deep downward path.
+	"/site/closed_auctions/closed_auction[annotation/description/text/keyword]/date",
+	// A5: predicate with descendant axis.
+	"/site/closed_auctions/closed_auction[descendant::keyword]/date",
+	// A6: conjunctive predicate.
+	"/site/people/person[profile/gender and profile/age]/name",
+	// A7: disjunctive predicate.
+	"/site/people/person[phone or homepage]/name",
+	// A8: nested boolean predicate.
+	"/site/people/person[address and (phone or homepage) and (creditcard or profile)]/name",
+}
+
+// xpathMarkB are the B1–B8 views: upward and horizontal axes.
+var xpathMarkB = []string{
+	// B1: parent test through a wildcard.
+	"/site/regions/*/item[parent::namerica or parent::samerica]/name",
+	// B2: ancestor axis from a recursive type.
+	"//keyword/ancestor::listitem/text/keyword",
+	// B3: following siblings among bidders.
+	"/site/open_auctions/open_auction/bidder[following-sibling::bidder]",
+	// B4: preceding siblings among bidders.
+	"/site/open_auctions/open_auction/bidder[preceding-sibling::bidder]",
+	// B5: horizontal navigation among items.
+	"/site/regions/*/item[following-sibling::item]/name",
+	// B6: ancestor-or-self from recursive markup.
+	"//keyword/ancestor-or-self::text",
+	// B7: upward then downward.
+	"//person/profile/age/../../name",
+	// B8: predicate combining horizontal and vertical steps.
+	"/site/open_auctions/open_auction[bidder/following-sibling::bidder]/interval",
+}
+
+// xmarkQueries are structural re-authorings of XMark q1–q20 in the
+// supported fragment: value joins become structural pairs, aggregates
+// and functions are reduced to the paths they traverse (the same
+// rewriting discipline as the paper's testbed).
+var xmarkQueries = []string{
+	// q1: a person's name (id selection dropped).
+	"/site/people/person/name",
+	// q2: bidder increases wrapped in new elements.
+	"for $b in /site/open_auctions/open_auction/bidder return <increase>{$b/increase/text()}</increase>",
+	// q3: auctions with more than one bid (positional → structural).
+	"for $a in /site/open_auctions/open_auction return if ($a/bidder/following-sibling::bidder) then <auction>{$a/current}</auction> else ()",
+	// q4: auctions where some bidder exists, reporting the reserve.
+	"for $a in /site/open_auctions/open_auction return if ($a/bidder/personref) then <history>{$a/reserve/text()}</history> else ()",
+	// q5: closed auction prices (count → path).
+	"/site/closed_auctions/closed_auction/price",
+	// q6: all items per region (count → path).
+	"/site/regions//item",
+	// q7: site-wide piece counts (three paths).
+	"(//description, //annotation, //emailaddress)",
+	// q8: people with their credit data (join dropped).
+	"for $p in /site/people/person return if ($p/creditcard) then <buyer>{$p/name/text()}</buyer> else ()",
+	// q9: people with watches and their names.
+	"for $p in /site/people/person return if ($p/watches/watch) then <watcher>{$p/name}</watcher> else ()",
+	// q10: person summaries (grouping dropped).
+	"for $p in /site/people/person return <personne>{($p/name, $p/emailaddress, $p/profile/education)}</personne>",
+	// q11: open auctions with an initial price (value join dropped).
+	"for $a in /site/open_auctions/open_auction return if ($a/initial) then <bidding>{$a/initial/text()}</bidding> else ()",
+	// q12: like q11 restricted to reserves.
+	"for $a in /site/open_auctions/open_auction return if ($a/reserve) then <offer>{$a/reserve/text()}</offer> else ()",
+	// q13: australian items with name and description.
+	"for $i in /site/regions/australia/item return <item>{($i/name, $i/description)}</item>",
+	// q14: items whose description mentions a keyword (contains → structural).
+	"for $i in //item return if ($i/description//keyword) then $i/name else ()",
+	// q15: the long downward path through nested parlists.
+	"/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword",
+	// q16: sellers of auctions with deeply structured annotations.
+	"for $a in /site/closed_auctions/closed_auction return if ($a/annotation/description/parlist/listitem) then $a/seller else ()",
+	// q17: people without a homepage.
+	"for $p in /site/people/person return if (not($p/homepage)) then <person>{$p/name}</person> else ()",
+	// q18: current prices (function application dropped).
+	"/site/open_auctions/open_auction/current",
+	// q19: item names with locations (sort dropped).
+	"for $i in //item return <listing>{($i/name, $i/location)}</listing>",
+	// q20: profile demographics buckets (counts → paths).
+	"(//profile[age], //profile[education], //profile[gender])",
+}
+
+// updateTexts defines the 31 updates: UA/UB delete the XPathMark
+// views' targets, UI/UN/UP cover inserts, renames and replaces over
+// all document regions, including the mutually recursive markup types.
+var updateTexts = []struct {
+	name            string
+	text            string
+	preservesSchema bool
+}{
+	// UA1-UA8: delete the A-paths. Several violate the schema
+	// (mandatory children are removed), as in the paper.
+	{"UA1", "delete " + xpathMarkA[0], false},
+	{"UA2", "delete " + xpathMarkA[1], false},
+	{"UA3", "delete " + xpathMarkA[2], false},
+	{"UA4", "delete " + xpathMarkA[3], false},
+	{"UA5", "delete " + xpathMarkA[4], false},
+	{"UA6", "delete " + xpathMarkA[5], false},
+	{"UA7", "delete " + xpathMarkA[6], false},
+	{"UA8", "delete " + xpathMarkA[7], false},
+	// UB1-UB8: delete the B-paths.
+	{"UB1", "delete " + xpathMarkB[0], false},
+	{"UB2", "delete " + xpathMarkB[1], false},
+	{"UB3", "delete " + xpathMarkB[2], true}, // bidder* is starred
+	{"UB4", "delete " + xpathMarkB[3], true},
+	{"UB5", "delete " + xpathMarkB[4], false},
+	{"UB6", "delete " + xpathMarkB[5], false},
+	{"UB7", "delete " + xpathMarkB[6], false},
+	{"UB8", "delete " + xpathMarkB[7], false},
+	// UI1-UI5: inserts into starred content, validity-preserving.
+	{"UI1", "for $m in //item/mailbox return insert <mail><from>x</from><to>y</to><date>d</date><text>hi</text></mail> into $m", true},
+	{"UI2", "for $w in //person/watches return insert <watch/> into $w", true},
+	{"UI3", "for $p in //annotation/description/parlist return insert <listitem><text>note</text></listitem> into $p", true},
+	{"UI4", "for $t in //item/description/text return insert <keyword>hot</keyword> into $t", true},
+	{"UI5", "insert <person><name>newbie</name><emailaddress>n</emailaddress></person> as last into /site/people", true},
+	// UN1-UN5: renames within the mixed-content family (the only
+	// label changes that keep the schema satisfied), scoped to
+	// different document regions.
+	{"UN1", "for $x in //closed_auction//bold return rename $x as emph", true},
+	{"UN2", "for $x in //item//emph return rename $x as keyword", true},
+	{"UN3", "for $x in //category//keyword return rename $x as bold", true},
+	{"UN4", "for $x in //mail/text/bold return rename $x as keyword", true},
+	{"UN5", "for $x in //open_auction//emph return rename $x as bold", true},
+	// UP1-UP5: validity-preserving replaces across regions.
+	{"UP1", "for $x in //person/emailaddress return replace $x with <emailaddress>new</emailaddress>", true},
+	{"UP2", "for $x in //open_auction/current return replace $x with <current>0</current>", true},
+	{"UP3", "for $x in //annotation/happiness return replace $x with <happiness>10</happiness>", true},
+	{"UP4", "for $x in //item/location return replace $x with <location>here</location>", true},
+	{"UP5", "for $x in //closed_auction/price return replace $x with <price>1</price>", true},
+}
+
+var (
+	workloadOnce sync.Once
+	views        []View
+	updates      []Upd
+)
+
+func buildWorkload() {
+	add := func(name, text string) {
+		ast, err := xquery.ParseQuery(text)
+		if err != nil {
+			panic(fmt.Sprintf("xmark: view %s does not parse: %v", name, err))
+		}
+		views = append(views, View{Name: name, Text: text, AST: ast})
+	}
+	for i, t := range xmarkQueries {
+		add(fmt.Sprintf("q%d", i+1), t)
+	}
+	for i, t := range xpathMarkA {
+		add(fmt.Sprintf("A%d", i+1), t)
+	}
+	for i, t := range xpathMarkB {
+		add(fmt.Sprintf("B%d", i+1), t)
+	}
+	for _, u := range updateTexts {
+		ast, err := xquery.ParseUpdate(u.text)
+		if err != nil {
+			panic(fmt.Sprintf("xmark: update %s does not parse: %v", u.name, err))
+		}
+		updates = append(updates, Upd{Name: u.name, Text: u.text, AST: ast, PreservesSchema: u.preservesSchema})
+	}
+}
+
+// Views returns the 36 benchmark views in order q1–q20, A1–A8, B1–B8.
+func Views() []View {
+	workloadOnce.Do(buildWorkload)
+	return views
+}
+
+// Updates returns the 31 benchmark updates in order UA1–8, UB1–8,
+// UI1–5, UN1–5, UP1–5.
+func Updates() []Upd {
+	workloadOnce.Do(buildWorkload)
+	return updates
+}
+
+// ViewByName returns the named view, or false.
+func ViewByName(name string) (View, bool) {
+	for _, v := range Views() {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return View{}, false
+}
+
+// UpdateByName returns the named update, or false.
+func UpdateByName(name string) (Upd, bool) {
+	for _, u := range Updates() {
+		if u.Name == name {
+			return u, true
+		}
+	}
+	return Upd{}, false
+}

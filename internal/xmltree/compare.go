@@ -1,0 +1,76 @@
+package xmltree
+
+// ValueEquivalent reports whether the subtrees σ@a and σ'@b are
+// isomorphic: the paper's value equivalence (σ,a) ≅ (σ',b). Two nodes
+// are value-equivalent when they have the same kind, the same tag or
+// text value, and pairwise value-equivalent children in order;
+// locations themselves are ignored.
+func ValueEquivalent(s *Store, a Loc, t *Store, b Loc) bool {
+	na, nb := s.at(a), t.at(b)
+	if na.kind != nb.kind {
+		return false
+	}
+	if na.kind == TextKind {
+		return na.text == nb.text
+	}
+	if na.tag != nb.tag || len(na.children) != len(nb.children) {
+		return false
+	}
+	for i := range na.children {
+		if !ValueEquivalent(s, na.children[i], t, nb.children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SequencesEquivalent reports value equivalence of two location
+// sequences, (σ,L) ≅ (σ',L'): equal lengths and pointwise
+// value-equivalent roots.
+func SequencesEquivalent(s *Store, ls []Loc, t *Store, ms []Loc) bool {
+	if len(ls) != len(ms) {
+		return false
+	}
+	for i := range ls {
+		if !ValueEquivalent(s, ls[i], t, ms[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash returns a structural hash of the subtree at l, consistent with
+// ValueEquivalent: equivalent subtrees hash equal. It is used to
+// compare large query results cheaply in benchmarks.
+func Hash(s *Store, l Loc) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(bs string) {
+		for i := 0; i < len(bs); i++ {
+			h ^= uint64(bs[i])
+			h *= prime64
+		}
+	}
+	var walk func(Loc)
+	walk = func(x Loc) {
+		n := s.at(x)
+		if n.kind == TextKind {
+			mix("t:")
+			mix(n.text)
+			mix(";")
+			return
+		}
+		mix("e:")
+		mix(n.tag)
+		mix("(")
+		for _, c := range n.children {
+			walk(c)
+		}
+		mix(")")
+	}
+	walk(l)
+	return h
+}

@@ -1,0 +1,76 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r into a fresh store and returns
+// the resulting tree. Attributes, comments, processing instructions
+// and whitespace-only text between elements are discarded: the
+// paper's data model has element and text nodes only, and its
+// benchmark rewriting removes attribute use.
+func Parse(r io.Reader) (Tree, error) {
+	dec := xml.NewDecoder(r)
+	s := NewStore()
+	var stack []Loc
+	var root Loc
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Tree{}, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := s.NewElement(t.Name.Local)
+			if len(stack) == 0 {
+				if root != NilLoc {
+					return Tree{}, fmt.Errorf("xmltree: parse: multiple root elements")
+				}
+				root = el
+			} else {
+				s.AppendChild(stack[len(stack)-1], el)
+			}
+			stack = append(stack, el)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return Tree{}, fmt.Errorf("xmltree: parse: unbalanced end tag %q", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue // ignore text outside the root
+			}
+			txt := string(t)
+			if strings.TrimSpace(txt) == "" {
+				continue
+			}
+			s.AppendChild(stack[len(stack)-1], s.NewText(txt))
+		}
+	}
+	if root == NilLoc {
+		return Tree{}, fmt.Errorf("xmltree: parse: empty document")
+	}
+	if len(stack) != 0 {
+		return Tree{}, fmt.Errorf("xmltree: parse: unclosed elements")
+	}
+	return NewTree(s, root), nil
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(doc string) (Tree, error) { return Parse(strings.NewReader(doc)) }
+
+// MustParse is ParseString, panicking on error; intended for tests and
+// examples with literal documents.
+func MustParse(doc string) Tree {
+	t, err := ParseString(doc)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

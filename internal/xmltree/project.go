@@ -1,0 +1,52 @@
+package xmltree
+
+// UpwardClose extends the location set keep so that it is upward
+// closed w.r.t. the parent-child relation of s: whenever a location is
+// kept, so are all its ancestors. The receiver set is modified in
+// place and returned.
+func (s *Store) UpwardClose(keep map[Loc]bool) map[Loc]bool {
+	for l, ok := range keep {
+		if !ok {
+			continue
+		}
+		for p := s.at(l).parent; p != NilLoc && !keep[p]; p = s.at(p).parent {
+			keep[p] = true
+		}
+	}
+	return keep
+}
+
+// Project builds the projection t|L of the tree t: a fresh tree
+// containing copies of exactly the locations of t present in keep
+// (which must be upward closed and contain the root), with sibling
+// order preserved. It returns the projected tree and a mapping from
+// original locations to projected ones.
+func Project(t Tree, keep map[Loc]bool) (Tree, map[Loc]Loc) {
+	s := t.Store
+	out := NewStore()
+	m := make(map[Loc]Loc, len(keep))
+	var build func(Loc) Loc
+	build = func(l Loc) Loc {
+		var nl Loc
+		if s.IsText(l) {
+			nl = out.NewText(s.Text(l))
+		} else {
+			nl = out.NewElement(s.Tag(l))
+			for _, c := range s.at(l).children {
+				if keep[c] {
+					cc := build(c)
+					out.at(cc).parent = nl
+					n := out.at(nl)
+					n.children = append(n.children, cc)
+				}
+			}
+		}
+		m[l] = nl
+		return nl
+	}
+	if !keep[t.Root] {
+		keep[t.Root] = true
+	}
+	root := build(t.Root)
+	return NewTree(out, root), m
+}

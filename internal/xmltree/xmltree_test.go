@@ -1,0 +1,316 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildFigure1 constructs the paper's Figure 1 document:
+// <doc><a><c/></a><a><c/></a><b><c/></b><a><c/></a></doc>
+func buildFigure1(t *testing.T) Tree {
+	t.Helper()
+	s := NewStore()
+	doc := s.NewElement("doc")
+	for _, tag := range []string{"a", "a", "b", "a"} {
+		el := s.NewElement(tag)
+		s.AppendChild(el, s.NewElement("c"))
+		s.AppendChild(doc, el)
+	}
+	return NewTree(s, doc)
+}
+
+func TestBuildAndRender(t *testing.T) {
+	tr := buildFigure1(t)
+	want := "<doc><a><c/></a><a><c/></a><b><c/></b><a><c/></a></doc>"
+	if got := tr.Store.String(tr.Root); got != want {
+		t.Errorf("render = %q, want %q", got, want)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"<doc><a><c/></a><a><c/></a><b><c/></b><a><c/></a></doc>",
+		"<a/>",
+		"<a>hello</a>",
+		"<a><b>x</b><b>y</b><c/></a>",
+		"<r><x>1</x><x>2</x><x>3</x></r>",
+	}
+	for _, doc := range cases {
+		tr, err := ParseString(doc)
+		if err != nil {
+			t.Fatalf("ParseString(%q): %v", doc, err)
+		}
+		if got := tr.Store.String(tr.Root); got != doc {
+			t.Errorf("round trip of %q = %q", doc, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"<a><b></a>",
+		"<a/><b/>",
+	}
+	for _, doc := range cases {
+		if _, err := ParseString(doc); err == nil {
+			t.Errorf("ParseString(%q): want error, got none", doc)
+		}
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	tr, err := ParseString("<?xml version=\"1.0\"?><!-- c --><a >  <b x=\"1\">t</b> </a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.Store.String(tr.Root), "<a><b>t</b></a>"; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestTextEscaping(t *testing.T) {
+	s := NewStore()
+	a := s.NewElement("a")
+	s.AppendChild(a, s.NewText("x<y&z"))
+	if got, want := s.String(a), "<a>x&lt;y&amp;z</a>"; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	tr, err := ParseString(s.String(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Store.Text(tr.Store.Child(tr.Root, 0)); got != "x<y&z" {
+		t.Errorf("re-parsed text = %q", got)
+	}
+}
+
+func TestAxes(t *testing.T) {
+	tr := buildFigure1(t)
+	s := tr.Store
+	kids := s.Children(tr.Root)
+	if len(kids) != 4 {
+		t.Fatalf("root has %d children, want 4", len(kids))
+	}
+	if got := len(s.Descendants(tr.Root)); got != 8 {
+		t.Errorf("descendants of root = %d, want 8", got)
+	}
+	c := s.Child(kids[0], 0)
+	anc := s.Ancestors(c)
+	if len(anc) != 2 || anc[0] != kids[0] || anc[1] != tr.Root {
+		t.Errorf("Ancestors(c) = %v", anc)
+	}
+	fs := s.FollowingSiblings(kids[1])
+	if len(fs) != 2 || fs[0] != kids[2] || fs[1] != kids[3] {
+		t.Errorf("FollowingSiblings = %v", fs)
+	}
+	ps := s.PrecedingSiblings(kids[2])
+	if len(ps) != 2 || ps[0] != kids[0] || ps[1] != kids[1] {
+		t.Errorf("PrecedingSiblings = %v", ps)
+	}
+	if s.Root(c) != tr.Root {
+		t.Errorf("Root(c) = %v, want %v", s.Root(c), tr.Root)
+	}
+	if got := len(s.Domain(tr.Root)); got != 9 {
+		t.Errorf("|Domain| = %d, want 9", got)
+	}
+}
+
+func TestMutations(t *testing.T) {
+	tr := buildFigure1(t)
+	s := tr.Store
+	kids := s.Children(tr.Root)
+	b := kids[2]
+
+	s.Detach(b)
+	if s.Parent(b) != NilLoc {
+		t.Errorf("detached node still has parent")
+	}
+	if got := s.ChildCount(tr.Root); got != 3 {
+		t.Errorf("after detach, root has %d children", got)
+	}
+	s.Detach(b) // idempotent
+	if got := s.ChildCount(tr.Root); got != 3 {
+		t.Errorf("double detach changed children: %d", got)
+	}
+
+	s.InsertChildren(tr.Root, 1, []Loc{b})
+	if got := s.IndexInParent(b); got != 1 {
+		t.Errorf("reinserted at %d, want 1", got)
+	}
+	want := "<doc><a><c/></a><b><c/></b><a><c/></a><a><c/></a></doc>"
+	if got := s.String(tr.Root); got != want {
+		t.Errorf("after reinsert: %q, want %q", got, want)
+	}
+
+	s.SetTag(b, "bb")
+	if s.Tag(b) != "bb" {
+		t.Errorf("SetTag did not apply")
+	}
+}
+
+func TestInsertChildrenPanics(t *testing.T) {
+	s := NewStore()
+	a := s.NewElement("a")
+	b := s.NewElement("b")
+	s.AppendChild(a, b)
+	mustPanic(t, "re-parenting", func() { s.AppendChild(a, b) })
+	mustPanic(t, "bad index", func() { s.InsertChildren(a, 5, []Loc{s.NewElement("c")}) })
+	txt := s.NewText("x")
+	s.AppendChild(a, txt)
+	mustPanic(t, "insert under text", func() { s.AppendChild(txt, s.NewElement("c")) })
+	mustPanic(t, "Tag on text", func() { s.Tag(txt) })
+	mustPanic(t, "Text on element", func() { s.Text(a) })
+	mustPanic(t, "bad loc", func() { s.Children(Loc(99)) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestValueEquivalence(t *testing.T) {
+	t1 := MustParse("<a><b>x</b><c/></a>")
+	t2 := MustParse("<a><b>x</b><c/></a>")
+	t3 := MustParse("<a><c/><b>x</b></a>")
+	t4 := MustParse("<a><b>y</b><c/></a>")
+	if !ValueEquivalent(t1.Store, t1.Root, t2.Store, t2.Root) {
+		t.Errorf("isomorphic trees not equivalent")
+	}
+	if ValueEquivalent(t1.Store, t1.Root, t3.Store, t3.Root) {
+		t.Errorf("order-swapped trees deemed equivalent")
+	}
+	if ValueEquivalent(t1.Store, t1.Root, t4.Store, t4.Root) {
+		t.Errorf("different text deemed equivalent")
+	}
+	if !SequencesEquivalent(t1.Store, []Loc{t1.Root}, t2.Store, []Loc{t2.Root}) {
+		t.Errorf("sequences not equivalent")
+	}
+	if SequencesEquivalent(t1.Store, []Loc{t1.Root, t1.Root}, t2.Store, []Loc{t2.Root}) {
+		t.Errorf("length mismatch not caught")
+	}
+}
+
+func TestHashConsistentWithEquivalence(t *testing.T) {
+	docs := []string{
+		"<a><b>x</b><c/></a>",
+		"<a><c/><b>x</b></a>",
+		"<a><b>y</b><c/></a>",
+		"<a/>",
+		"<b/>",
+		"<a>x</a>",
+	}
+	trees := make([]Tree, len(docs))
+	for i, d := range docs {
+		trees[i] = MustParse(d)
+	}
+	for i := range trees {
+		for j := range trees {
+			eq := ValueEquivalent(trees[i].Store, trees[i].Root, trees[j].Store, trees[j].Root)
+			he := Hash(trees[i].Store, trees[i].Root) == Hash(trees[j].Store, trees[j].Root)
+			if eq && !he {
+				t.Errorf("equivalent trees %d,%d hash differently", i, j)
+			}
+			if !eq && he {
+				t.Errorf("hash collision between %q and %q", docs[i], docs[j])
+			}
+		}
+	}
+}
+
+func TestCopyAcrossStores(t *testing.T) {
+	src := MustParse("<a><b>x</b><c><d/></c></a>")
+	dst := NewStore()
+	cp := dst.Copy(src.Store, src.Root)
+	if dst.Parent(cp) != NilLoc {
+		t.Errorf("copy is not detached")
+	}
+	if !ValueEquivalent(src.Store, src.Root, dst, cp) {
+		t.Errorf("copy not value-equivalent to source")
+	}
+	// Mutating the copy must not affect the source.
+	dst.SetTag(cp, "z")
+	if src.Store.Tag(src.Root) != "a" {
+		t.Errorf("copy aliases source")
+	}
+}
+
+func TestDocOrder(t *testing.T) {
+	tr := MustParse("<r><a><x/><y/></a><b/><c><z/></c></r>")
+	s := tr.Store
+	dom := s.Domain(tr.Root)
+	// Domain is produced in document order already; verify comparator
+	// agrees and sorting a shuffled copy restores it.
+	for i := 0; i < len(dom); i++ {
+		for j := 0; j < len(dom); j++ {
+			got := s.CompareDocOrder(dom[i], dom[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("CompareDocOrder(%d,%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	shuffled := []Loc{dom[5], dom[0], dom[5], dom[3], dom[1], dom[2], dom[4], dom[6]}
+	sorted := s.SortDocOrder(shuffled)
+	if len(sorted) != 7 {
+		t.Fatalf("SortDocOrder kept %d locations, want 7 (dedup)", len(sorted))
+	}
+	for i, l := range sorted {
+		if l != dom[i] {
+			t.Errorf("sorted[%d] = %v, want %v", i, l, dom[i])
+		}
+	}
+}
+
+func TestProjection(t *testing.T) {
+	tr := MustParse("<r><a><x/><y/></a><b/><c><z/></c></r>")
+	s := tr.Store
+	// Keep only the y node; projection must add its ancestors.
+	var y Loc
+	s.Walk(tr.Root, func(l Loc) bool {
+		if s.IsElement(l) && s.Tag(l) == "y" {
+			y = l
+		}
+		return true
+	})
+	keep := s.UpwardClose(map[Loc]bool{y: true})
+	pt, m := Project(tr, keep)
+	if got, want := pt.Store.String(pt.Root), "<r><a><y/></a></r>"; got != want {
+		t.Errorf("projection = %q, want %q", got, want)
+	}
+	if m[y] == NilLoc {
+		t.Errorf("mapping lost the kept node")
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tr := buildFigure1(t)
+	n := 0
+	tr.Store.Walk(tr.Root, func(Loc) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("walk visited %d nodes, want 3", n)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if ElementKind.String() != "element" || TextKind.String() != "text" {
+		t.Errorf("Kind.String broken")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Errorf("unknown kind string")
+	}
+}

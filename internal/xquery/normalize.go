@@ -1,0 +1,114 @@
+package xquery
+
+// Normalize rewrites nested for-expressions into binding-nested form:
+//
+//	for $x in E return for $y in F return R   (with $x not free in R)
+//	⇒ for $y in (for $x in E return F) return R
+//
+// The rewriting is the standard FLWR un-nesting; it preserves the
+// dynamic semantics (iteration order and bindings are unchanged) and
+// lets chain inference process pure navigation prefixes in one pass.
+// The CDAG engine normalizes its inputs; the explicit-set reference
+// engine works on the paper-shaped AST.
+func Normalize(q Query) Query {
+	switch n := q.(type) {
+	case Empty, StringLit, Var, Step:
+		return q
+	case Sequence:
+		return Sequence{Left: Normalize(n.Left), Right: Normalize(n.Right)}
+	case Element:
+		return Element{Tag: n.Tag, Content: Normalize(n.Content)}
+	case If:
+		return If{Cond: Normalize(n.Cond), Then: Normalize(n.Then), Else: Normalize(n.Else)}
+	case Let:
+		return Let{Var: n.Var, Bind: Normalize(n.Bind), Return: Normalize(n.Return)}
+	case For:
+		f := For{Var: n.Var, In: Normalize(n.In), Return: Normalize(n.Return)}
+		return rotateFor(f)
+	default:
+		panic("xquery: Normalize: unknown node")
+	}
+}
+
+// rotateFor applies the un-nesting rotation at one for-node until it
+// no longer applies.
+func rotateFor(f For) Query {
+	for {
+		inner, ok := f.Return.(For)
+		if !ok {
+			return f
+		}
+		if inner.Var == f.Var {
+			return f
+		}
+		free := make(map[string]bool)
+		FreeQueryVars(inner.Return, free)
+		if free[f.Var] {
+			return f
+		}
+		// Guard against capture: the inner variable must not occur
+		// free in the outer binding expression (always true for
+		// parser-generated fresh variables, checked for safety).
+		freeIn := make(map[string]bool)
+		FreeQueryVars(f.In, freeIn)
+		if freeIn[inner.Var] {
+			return f
+		}
+		newIn := rotateFor(For{Var: f.Var, In: f.In, Return: inner.In})
+		f = For{Var: inner.Var, In: asQuery(newIn), Return: inner.Return}
+	}
+}
+
+func asQuery(q Query) Query { return q }
+
+// NormalizeUpdate applies Normalize to every query embedded in u and
+// un-nests update-level for-expressions the same way.
+func NormalizeUpdate(u Update) Update {
+	switch n := u.(type) {
+	case UEmpty:
+		return u
+	case USeq:
+		return USeq{Left: NormalizeUpdate(n.Left), Right: NormalizeUpdate(n.Right)}
+	case UIf:
+		return UIf{Cond: Normalize(n.Cond), Then: NormalizeUpdate(n.Then), Else: NormalizeUpdate(n.Else)}
+	case ULet:
+		return ULet{Var: n.Var, Bind: Normalize(n.Bind), Body: NormalizeUpdate(n.Body)}
+	case UFor:
+		f := UFor{Var: n.Var, In: Normalize(n.In), Body: NormalizeUpdate(n.Body)}
+		return rotateUFor(f)
+	case Delete:
+		return Delete{Target: Normalize(n.Target)}
+	case Rename:
+		return Rename{Target: Normalize(n.Target), As: n.As}
+	case Insert:
+		return Insert{Source: Normalize(n.Source), Pos: n.Pos, Target: Normalize(n.Target)}
+	case Replace:
+		return Replace{Target: Normalize(n.Target), Source: Normalize(n.Source)}
+	default:
+		panic("xquery: NormalizeUpdate: unknown node")
+	}
+}
+
+func rotateUFor(f UFor) Update {
+	for {
+		inner, ok := f.Body.(UFor)
+		if !ok {
+			return f
+		}
+		if inner.Var == f.Var {
+			return f
+		}
+		free := make(map[string]bool)
+		FreeUpdateVars(inner.Body, free)
+		if free[f.Var] {
+			return f
+		}
+		freeIn := make(map[string]bool)
+		FreeQueryVars(f.In, freeIn)
+		if freeIn[inner.Var] {
+			return f
+		}
+		newIn := Normalize(For{Var: f.Var, In: f.In, Return: inner.In})
+		f = UFor{Var: inner.Var, In: newIn, Body: inner.Body}
+	}
+}

@@ -1,0 +1,119 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeRotation(t *testing.T) {
+	// The canonical nested navigation: rotation turns the right-nested
+	// paper encoding into binding-nested form.
+	q := MustParseQuery("//a//c")
+	n := Normalize(q)
+	s := n.String()
+	// The outermost node must now be a for whose Return is the final
+	// step (no further for inside the return).
+	outer, ok := n.(For)
+	if !ok {
+		t.Fatalf("normalized root is %T", n)
+	}
+	if _, nested := outer.Return.(For); nested {
+		t.Errorf("rotation incomplete: return still a for\n%s", s)
+	}
+	if !strings.HasSuffix(s, "child::c") {
+		t.Errorf("normalized form should end with the last step: %s", s)
+	}
+}
+
+func TestNormalizeStopsWhenVariableUsed(t *testing.T) {
+	// The inner return references the outer variable: rotation must not
+	// apply (it would unbind $x).
+	q := MustParseQuery("for $x in //a return for $y in //b return ($x, $y)")
+	n := Normalize(q)
+	outer, ok := n.(For)
+	if !ok {
+		t.Fatalf("normalized root is %T", n)
+	}
+	if outer.Var != "$x" {
+		t.Errorf("outer binding changed: %s", n)
+	}
+	if _, nested := outer.Return.(For); !nested {
+		t.Errorf("rotation should not have fired: %s", n)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	inputs := []string{
+		"//a//c",
+		"//keyword/ancestor::listitem/text/keyword",
+		"for $x in //a return <w>{$x/b}</w>",
+		"if (//a) then //b else ()",
+		"let $x := //a return $x/b",
+		"()",
+	}
+	for _, in := range inputs {
+		q := MustParseQuery(in)
+		n1 := Normalize(q)
+		n2 := Normalize(n1)
+		if n1.String() != n2.String() {
+			t.Errorf("Normalize not idempotent on %q:\n  %s\n  %s", in, n1, n2)
+		}
+	}
+}
+
+func TestNormalizeUpdate(t *testing.T) {
+	u := MustParseUpdate("for $x in //a return for $y in $x/b return delete $y/c")
+	n := NormalizeUpdate(u)
+	// $y's body does not use $x, so the update fors rotate.
+	outer, ok := n.(UFor)
+	if !ok {
+		t.Fatalf("normalized root is %T", n)
+	}
+	if outer.Var != "$y" {
+		t.Errorf("rotation did not fire: %s", n)
+	}
+	// All primitive kinds survive normalization structurally.
+	for _, in := range []string{
+		"delete //a",
+		"for $x in //a return rename $x as b",
+		"for $x in //a return insert <b/> into $x",
+		"for $x in //a return replace $x with <b/>",
+		"if (//a) then delete //b else delete //c",
+		"let $x := //a return delete $x/b",
+		"(delete //a, delete //b)",
+		"()",
+	} {
+		u := MustParseUpdate(in)
+		n := NormalizeUpdate(u)
+		n2 := NormalizeUpdate(n)
+		if n.String() != n2.String() {
+			t.Errorf("NormalizeUpdate not idempotent on %q", in)
+		}
+	}
+}
+
+// TestNormalizePreservesFreeVars: normalization never changes the free
+// variables of an expression.
+func TestNormalizePreservesFreeVars(t *testing.T) {
+	queries := []string{
+		"//a//c",
+		"for $x in $z/a return for $y in $x/b return $y/c",
+		"for $x in //a return ($x, $w)",
+	}
+	for _, in := range queries {
+		q := MustParseQuery(in)
+		before := map[string]bool{}
+		FreeQueryVars(q, before)
+		after := map[string]bool{}
+		FreeQueryVars(Normalize(q), after)
+		if len(before) != len(after) {
+			t.Errorf("free vars changed for %q: %v vs %v", in, before, after)
+			continue
+		}
+		for v := range before {
+			if !after[v] {
+				t.Errorf("free var %s lost in %q", v, in)
+			}
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package xqindep statically detects XML query-update independence in
+// the presence of a schema, implementing the type-based chain analysis
+// of Bidoit-Tollu, Colazzo and Ulliana, "Type-Based Detection of XML
+// Query-Update Independence" (VLDB 2012).
+//
+// A query q and an update u are independent when executing u can never
+// change the result of q on any document valid for the schema. The
+// analyzer infers, from the DTD, the *chains* (root-to-node label
+// sequences) a query returns and uses and the chains an update
+// changes, and reports independence when no chain pair is in prefix
+// conflict. Recursive schemas are handled by the paper's finite
+// k-chain analysis; the default engine is the polynomial CDAG
+// implementation.
+//
+// Typical use:
+//
+//	schema, _ := xqindep.ParseSchema("bib <- book*\nbook <- title\ntitle <- #PCDATA")
+//	q, _ := xqindep.ParseQuery("//title")
+//	u, _ := xqindep.ParseUpdate("for $x in //book return insert <author/> into $x")
+//	ok, _ := schema.Independent(q, u)   // true: the update cannot affect //title
+//
+// Besides the static analysis the package evaluates queries and
+// updates on documents (the paper's dynamic semantics), which is what
+// view-maintenance applications need anyway: skip re-materialisation
+// when Independent, re-run the query otherwise.
+package xqindep
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"xqindep/internal/core"
+	"xqindep/internal/dtd"
+	"xqindep/internal/eval"
+	"xqindep/internal/infer"
+	"xqindep/internal/preserve"
+	"xqindep/internal/xmltree"
+	"xqindep/internal/xquery"
+)
+
+// Schema is a parsed DTD or Extended DTD.
+type Schema struct {
+	d *dtd.DTD
+	a *core.Analyzer
+}
+
+// ParseSchema parses a schema in compact notation ("a <- (b | c)*",
+// one declaration per line, optional "start name" directive, EDTD
+// labels in brackets) or classic <!ELEMENT ...> notation.
+func ParseSchema(text string) (*Schema, error) {
+	d, err := dtd.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{d: d, a: core.NewAnalyzer(d)}, nil
+}
+
+// MustParseSchema is ParseSchema, panicking on error.
+func MustParseSchema(text string) *Schema {
+	s, err := ParseSchema(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Size returns the number of declared element types (|d|).
+func (s *Schema) Size() int { return s.d.Size() }
+
+// Start returns the start symbol.
+func (s *Schema) Start() string { return s.d.Start }
+
+// IsRecursive reports whether the schema is vertically recursive (the
+// chain universe Cd is infinite and the finite k-analysis kicks in).
+func (s *Schema) IsRecursive() bool { return s.d.IsRecursive() }
+
+// String renders the schema in compact notation.
+func (s *Schema) String() string { return s.d.String() }
+
+// DTD exposes the underlying schema to the internal packages; it is
+// the escape hatch for advanced integrations and tests.
+func (s *Schema) DTD() *dtd.DTD { return s.d }
+
+// Query is a parsed query of the supported XQuery fragment.
+type Query struct {
+	ast xquery.Query
+	src string
+}
+
+// ParseQuery parses a query; XPath sugar (absolute paths, //,
+// predicates, abbreviated steps) is desugared into the core fragment.
+func ParseQuery(text string) (*Query, error) {
+	q, err := xquery.ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{ast: q, src: text}, nil
+}
+
+// MustParseQuery is ParseQuery, panicking on error.
+func MustParseQuery(text string) *Query {
+	q, err := ParseQuery(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String returns the original query text.
+func (q *Query) String() string { return q.src }
+
+// Core returns the desugared core-fragment form.
+func (q *Query) Core() string { return q.ast.String() }
+
+// Update is a parsed update of the supported XQuery Update Facility
+// fragment.
+type Update struct {
+	ast xquery.Update
+	src string
+}
+
+// ParseUpdate parses an update expression.
+func ParseUpdate(text string) (*Update, error) {
+	u, err := xquery.ParseUpdate(text)
+	if err != nil {
+		return nil, err
+	}
+	return &Update{ast: u, src: text}, nil
+}
+
+// MustParseUpdate is ParseUpdate, panicking on error.
+func MustParseUpdate(text string) *Update {
+	u, err := ParseUpdate(text)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// String returns the original update text.
+func (u *Update) String() string { return u.src }
+
+// Core returns the desugared core-fragment form.
+func (u *Update) Core() string { return u.ast.String() }
+
+// Method selects the analysis technique.
+type Method = core.Method
+
+// Analysis methods: Chains is the paper's contribution on the
+// polynomial CDAG engine (the default); ChainsExact runs the same
+// calculus on explicit chain sets; Types and Paths are the two
+// baselines of the paper's evaluation.
+const (
+	Chains      = core.MethodChains
+	ChainsExact = core.MethodChainsExact
+	Types       = core.MethodTypes
+	Paths       = core.MethodPaths
+)
+
+// Report is the outcome of one analysis.
+type Report struct {
+	// Independent is the verdict; false means "dependence could not be
+	// excluded" (the analysis is sound but necessarily incomplete).
+	Independent bool
+	// Method that produced the verdict.
+	Method Method
+	// K is the multiplicity kq+ku of the finite analysis (chain
+	// methods).
+	K int
+	// Witnesses holds conflict evidence when dependent.
+	Witnesses []string
+	// Elapsed is the analysis time.
+	Elapsed time.Duration
+}
+
+// Independent runs the default chain analysis and reports the verdict.
+func (s *Schema) Independent(q *Query, u *Update) (bool, error) {
+	return s.a.Independent(q.ast, u.ast)
+}
+
+// Analyze runs the selected analysis and returns the full report.
+func (s *Schema) Analyze(q *Query, u *Update, m Method) (Report, error) {
+	r, err := s.a.Analyze(q.ast, u.ast, m)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Independent: r.Independent,
+		Method:      r.Method,
+		K:           r.K,
+		Witnesses:   r.Witnesses,
+		Elapsed:     r.Elapsed,
+	}, nil
+}
+
+// Commute decides update-update commutativity: whether applying u1
+// and u2 in either order is guaranteed to produce the same document on
+// every valid input. This extends the chain framework to the
+// commutativity problem of Ghelli, Rose and Siméon; like Independent,
+// a true verdict is a guarantee and false may be a false alarm.
+func (s *Schema) Commute(u1, u2 *Update) (bool, error) {
+	if !xquery.QuasiClosedUpdate(u1.ast) || !xquery.QuasiClosedUpdate(u2.ast) {
+		return false, fmt.Errorf("xqindep: updates must be quasi-closed")
+	}
+	return infer.Commutativity(s.d, u1.ast, u2.ast).Commute, nil
+}
+
+// PreservesSchema statically checks that the update keeps every valid
+// document valid — the precondition under which the independence
+// analysis covers insert, rename and replace updates (deletions are
+// covered unconditionally). A true verdict is a guarantee; when false,
+// the returned reasons describe the potential violations (which may be
+// false alarms).
+func (s *Schema) PreservesSchema(u *Update) (bool, []string) {
+	v := preserve.Check(s.d, u.ast)
+	return v.Preserves, v.Reasons
+}
+
+// ChainEvidence holds the inferred chains of the exact engine, for
+// explanation and debugging.
+type ChainEvidence struct {
+	Return  []string // chains of returned input nodes
+	Used    []string // chains of inspected input nodes
+	Element []string // chains of constructed elements
+	Update  []string // update chains c:c'
+	K       int      // multiplicity of the finite analysis
+}
+
+// ExplainChains returns the chain sets behind a verdict.
+func (s *Schema) ExplainChains(q *Query, u *Update) (ChainEvidence, error) {
+	ret, used, elem, upd, k, err := s.a.Chains(q.ast, u.ast)
+	if err != nil {
+		return ChainEvidence{}, err
+	}
+	return ChainEvidence{Return: ret, Used: used, Element: elem, Update: upd, K: k}, nil
+}
+
+// Document is a mutable XML document.
+type Document struct {
+	tree xmltree.Tree
+}
+
+// ParseDocument reads an XML document (elements and text only;
+// attributes and comments are discarded, matching the paper's data
+// model).
+func ParseDocument(r io.Reader) (*Document, error) {
+	t, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{tree: t}, nil
+}
+
+// ParseDocumentString is ParseDocument over a string.
+func ParseDocumentString(text string) (*Document, error) {
+	t, err := xmltree.ParseString(text)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{tree: t}, nil
+}
+
+// MustParseDocument is ParseDocumentString, panicking on error.
+func MustParseDocument(text string) *Document {
+	d, err := ParseDocumentString(text)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// String serialises the document.
+func (doc *Document) String() string { return doc.tree.Store.String(doc.tree.Root) }
+
+// Copy returns an independent deep copy.
+func (doc *Document) Copy() *Document {
+	s := xmltree.NewStore()
+	root := s.Copy(doc.tree.Store, doc.tree.Root)
+	return &Document{tree: xmltree.NewTree(s, root)}
+}
+
+// Size returns the number of nodes in the document.
+func (doc *Document) Size() int { return len(doc.tree.Store.Domain(doc.tree.Root)) }
+
+// Validate checks the document against the schema.
+func (s *Schema) Validate(doc *Document) error { return s.d.Validate(doc.tree) }
+
+// Generate builds a pseudo-random document valid for the schema.
+// pRepeat in [0,1) controls repetition of starred content; maxDepth
+// bounds the tree height.
+func (s *Schema) Generate(seed int64, pRepeat float64, maxDepth int) (*Document, error) {
+	t, err := s.d.GenerateTree(rand.New(rand.NewSource(seed)), pRepeat, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{tree: t}, nil
+}
+
+// Run evaluates the query on the document and returns the serialised
+// result fragments in order. The document is not modified.
+func (doc *Document) Run(q *Query) ([]string, error) {
+	s, locs, err := eval.QueryTree(doc.tree, q.ast)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(locs))
+	for i, l := range locs {
+		out[i] = s.String(l)
+	}
+	return out, nil
+}
+
+// Apply executes the update on the document in place (UPL
+// construction, sanity checks, application — the W3C three phases).
+func (doc *Document) Apply(u *Update) error {
+	return eval.Update(doc.tree.Store, eval.RootEnv(doc.tree.Root), u.ast)
+}
+
+// IndependentOn checks Definition 2.4 dynamically on one document:
+// it evaluates q, applies u to a copy, re-evaluates, and compares the
+// results up to value equivalence. It is the runtime ground truth the
+// static analysis approximates.
+func IndependentOn(doc *Document, q *Query, u *Update) (bool, error) {
+	return eval.IndependentOn(doc.tree, q.ast, u.ast)
+}
+
+// Version identifies the library release.
+const Version = "1.0.0"
