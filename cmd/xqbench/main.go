@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"xqindep/internal/experiments"
 	"xqindep/internal/xmark"
@@ -29,8 +30,12 @@ func main() {
 		cFactors = flag.String("c-factors", "1,4,16", "comma-separated document scale factors for 3c")
 		dNs      = flag.String("d-ns", "1,3,5,10,20", "schema sizes n for 3d")
 		dMs      = flag.String("d-ms", "1,5,10", "expression sizes m for 3d")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget per analysis run (0 = none; overruns count as dependent)")
+		maxNodes = flag.Int("max-nodes", 0, "CDAG node budget per analysis run (0 = default)")
 	)
 	flag.Parse()
+	experiments.AnalysisTimeout = time.Duration(*timeout)
+	experiments.AnalysisLimits.MaxNodes = *maxNodes
 
 	run3a := *fig == "3a" || *fig == "all"
 	run3b := *fig == "3b" || *fig == "all"

@@ -8,14 +8,23 @@
 // <!ELEMENT> notation. Methods: chains (default, the CDAG engine),
 // chains-exact, types, paths, or all.
 //
+// Resource limits: -timeout bounds wall-clock time, -max-nodes,
+// -max-chains and -max-k bound the analysis state. When a limit is
+// hit the analysis degrades to a weaker sound method (down to the
+// conservative "possibly DEPENDENT"), unless -no-fallback is given,
+// in which case the overrun is an error.
+//
 // Exit status: 0 when independence is detected, 1 when it is not,
-// 2 on usage or parse errors.
+// 2 on usage or parse errors, 3 when the verdict is degraded (a
+// budget was exceeded and a weaker method answered).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"xqindep"
 	"xqindep/internal/core"
@@ -34,6 +43,11 @@ func run() int {
 		methodName  = flag.String("method", "chains", "analysis: chains, chains-exact, types, paths, or all")
 		explain     = flag.Bool("explain", false, "print the inferred chains")
 		preserveU   = flag.Bool("preserve", false, "also check whether the update preserves the schema")
+		timeout     = flag.Duration("timeout", 0, "analysis wall-clock budget (0 = none)")
+		maxNodes    = flag.Int("max-nodes", 0, "CDAG node budget (0 = default)")
+		maxChains   = flag.Int("max-chains", 0, "explicit chain-set budget (0 = default)")
+		maxK        = flag.Int("max-k", 0, "largest accepted multiplicity k (0 = default)")
+		noFallback  = flag.Bool("no-fallback", false, "fail on budget overrun instead of degrading to a weaker method")
 	)
 	flag.Parse()
 	if *schemaFile == "" || *updateText == "" || (*queryText == "" && *update2Text == "") {
@@ -103,9 +117,25 @@ func run() int {
 		methods = []xqindep.Method{m}
 	}
 
+	opts := xqindep.Options{
+		Limits: xqindep.Limits{
+			MaxNodes:  *maxNodes,
+			MaxChains: *maxChains,
+			MaxK:      *maxK,
+		},
+		NoFallback: *noFallback,
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	independent := true
+	degraded := false
 	for _, m := range methods {
-		rep, err := schema.Analyze(q, u, m)
+		rep, err := schema.AnalyzeContext(ctx, q, u, m, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xqindep:", err)
 			return 2
@@ -114,16 +144,21 @@ func run() int {
 		if !rep.Independent {
 			verdict = "possibly DEPENDENT"
 		}
-		fmt.Printf("%-12s  %-18s", m, verdict)
+		fmt.Printf("%-12s  %-18s", rep.Method, verdict)
 		if rep.K > 0 {
 			fmt.Printf("  k=%d", rep.K)
 		}
-		fmt.Printf("  (%s)\n", rep.Elapsed.Round(10_000))
+		fmt.Printf("  (%s)", rep.Elapsed.Round(10*time.Microsecond))
+		if rep.Degraded {
+			fmt.Printf("  [degraded from %s: %v]", m, rep.Err)
+		}
+		fmt.Println()
 		for _, w := range rep.Witnesses {
 			fmt.Printf("    conflict: %s\n", w)
 		}
 		if m == methods[0] {
 			independent = rep.Independent
+			degraded = rep.Degraded
 		}
 	}
 	if *explain {
@@ -137,6 +172,9 @@ func run() int {
 		printChains("used", ev.Used)
 		printChains("element", ev.Element)
 		printChains("update", ev.Update)
+	}
+	if degraded {
+		return 3
 	}
 	if independent {
 		return 0

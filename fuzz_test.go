@@ -1,0 +1,60 @@
+package xqindep
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"xqindep/internal/xmark"
+)
+
+// FuzzAnalyzeContext drives the whole engine — schema, query and
+// update parsing followed by every analysis method under a starvation
+// budget — with arbitrary inputs. The invariants: malformed input is
+// an ordinary error, a budget overrun degrades or errors but never
+// hangs, and under no circumstances does a panic escape (an escaped
+// panic would surface as *InternalError, which the fuzzer treats as a
+// bug).
+func FuzzAnalyzeContext(f *testing.F) {
+	const recursive = "r <- (x | y | z)*\nx <- (x | y | z)*\ny <- (x | y | z)*\nz <- #PCDATA"
+	const bib = "bib <- book*\nbook <- title, author*, price?\ntitle <- #PCDATA\nauthor <- #PCDATA\nprice <- #PCDATA"
+	f.Add(bib, "//title", "delete //price")
+	f.Add(bib, "for $b in //book return if ($b/author) then $b/title else ()", "for $x in //book return insert <author/> into $x")
+	f.Add(recursive, "//y//z", "delete //x//z")
+	f.Add(recursive, "//x//y//x//y//z", "delete //y//x//y//x//z")
+	f.Add(xmark.SchemaText, "/site/people/person/name", "delete //price")
+	f.Add(xmark.SchemaText, "//closed_auction//keyword", "for $p in /site/people/person return delete $p/homepage")
+
+	methods := []Method{Chains, ChainsExact, Types, Paths}
+	lim := Limits{MaxK: 6, MaxChains: 1 << 12, MaxNodes: 1 << 14}
+	f.Fuzz(func(t *testing.T, ds, qs, us string) {
+		s, err := ParseSchema(ds)
+		if err != nil {
+			return
+		}
+		q, err := ParseQuery(qs)
+		if err != nil {
+			return
+		}
+		u, err := ParseUpdate(us)
+		if err != nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		for _, m := range methods {
+			rep, err := s.AnalyzeContext(ctx, q, u, m, Options{Limits: lim})
+			if err != nil {
+				var ie *InternalError
+				if errors.As(err, &ie) {
+					t.Fatalf("internal error (escaped panic) for method %v:\nschema: %q\nquery: %q\nupdate: %q\n%v", m, ds, qs, us, err)
+				}
+				continue
+			}
+			if rep.Degraded && !errors.Is(rep.Err, ErrBudgetExceeded) {
+				t.Fatalf("degraded verdict without a budget error: %+v", rep)
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xqindep/internal/dtd"
+	"xqindep/internal/guard"
 	"xqindep/internal/infer"
 	"xqindep/internal/xquery"
 )
@@ -24,6 +25,7 @@ func commonNodes(a, b *Set) map[Node]bool {
 	for len(frontier) > 0 {
 		var next []Node
 		for _, f := range frontier {
+			a.eng.budget.Tick()
 			for to := range a.out[f] {
 				if !b.hasEdge(f, to) {
 					continue
@@ -51,6 +53,7 @@ func (s *Set) reachesEnd(n Node) bool {
 	for len(frontier) > 0 {
 		var next []Node
 		for _, f := range frontier {
+			s.eng.budget.Tick()
 			for _, c := range s.succs(f) {
 				if s.ends[c] {
 					return true
@@ -157,6 +160,15 @@ func (v Verdict) String() string {
 // the pair constructs beyond the schema alphabet.
 func Independence(d *dtd.DTD, q xquery.Query, u xquery.Update) Verdict {
 	e := EngineFor(d, q, u)
+	return e.CheckIndependence(q, u)
+}
+
+// IndependenceBudget is Independence under a resource budget: the
+// engine charges b for every unit of graph growth and checks the
+// deadline cooperatively, aborting via guard.Abort when exhausted
+// (recover with guard.Recover or guard.Do at the caller).
+func IndependenceBudget(d *dtd.DTD, q xquery.Query, u xquery.Update, b *guard.Budget) Verdict {
+	e := EngineFor(d, q, u).WithBudget(b)
 	return e.CheckIndependence(q, u)
 }
 

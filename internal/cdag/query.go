@@ -40,6 +40,7 @@ func (e *Engine) emptyChains() QueryChains {
 // number of endpoints is polynomial in |d| and k, unlike the number of
 // chains.
 func (e *Engine) Query(g Env, q xquery.Query) QueryChains {
+	e.budget.Tick()
 	switch n := q.(type) {
 	case xquery.Empty:
 		return e.emptyChains()

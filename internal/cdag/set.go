@@ -26,6 +26,7 @@ import (
 
 	"xqindep/internal/chain"
 	"xqindep/internal/dtd"
+	"xqindep/internal/guard"
 	"xqindep/internal/xquery"
 )
 
@@ -52,6 +53,16 @@ type Engine struct {
 	K int
 	// MaxDepth bounds chain length; see the package comment.
 	MaxDepth int
+	// budget, when non-nil, bounds graph growth and wall-clock time;
+	// the hot loops charge it cooperatively (see package guard).
+	budget *guard.Budget
+}
+
+// WithBudget attaches a resource budget to the engine and returns it;
+// a nil budget means unlimited.
+func (e *Engine) WithBudget(b *guard.Budget) *Engine {
+	e.budget = b
+	return e
 }
 
 // NewEngine builds an engine for the DTD with the depth bound implied
@@ -85,8 +96,11 @@ func (e *Engine) NewSet() *Set {
 	}
 }
 
-// addEdge inserts from → (from.Depth+1, to).
+// addEdge inserts from → (from.Depth+1, to). Every insertion charges
+// the engine budget: edge growth is the engine's unit of work, so a
+// runaway analysis aborts here long before exhausting memory.
 func (s *Set) addEdge(from Node, to string) {
+	s.eng.budget.AddNodes(1)
 	m := s.out[from]
 	if m == nil {
 		m = make(map[string]bool)
@@ -235,6 +249,7 @@ func (s *Set) prune() *Set {
 	for len(frontier) > 0 {
 		var next []Node
 		for _, f := range frontier {
+			s.eng.budget.Tick()
 			for _, c := range s.succs(f) {
 				if !fwd[c] {
 					fwd[c] = true
@@ -256,6 +271,7 @@ func (s *Set) prune() *Set {
 	for len(frontier) > 0 {
 		var next []Node
 		for _, f := range frontier {
+			s.eng.budget.Tick()
 			for _, p := range s.preds(f) {
 				if !back[p] {
 					back[p] = true
@@ -453,6 +469,7 @@ func (s *Set) descendantStep(axis xquery.Axis, test xquery.NodeTest) (*Set, map[
 	for len(frontier) > 0 {
 		var next []Node
 		for _, f := range frontier {
+			s.eng.budget.Tick()
 			for _, p := range out.preds(f) {
 				if !hasBelow[p] {
 					hasBelow[p] = true
@@ -544,6 +561,7 @@ func (s *Set) properAncestors(n Node) []Node {
 	for len(frontier) > 0 {
 		var next []Node
 		for _, f := range frontier {
+			s.eng.budget.Tick()
 			for _, p := range s.preds(f) {
 				if !seen[p] {
 					seen[p] = true
@@ -713,6 +731,7 @@ func (s *Set) Chains(limit int) []chain.Chain {
 		if limit > 0 && len(out) >= limit {
 			return
 		}
+		s.eng.budget.Tick()
 		path = append(path, n.Sym)
 		if s.ends[n] {
 			out = append(out, chain.New(append([]string(nil), path...)...))

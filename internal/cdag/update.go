@@ -33,6 +33,7 @@ func (u *UpdateSet) IsEmpty() bool { return u.Full.IsEmpty() }
 // Update infers the update-chain DAG of u under Γ, mirroring Table 2
 // (with the same (REPLACE) correction as package infer).
 func (e *Engine) Update(g Env, u xquery.Update) *UpdateSet {
+	e.budget.Tick()
 	switch n := u.(type) {
 	case xquery.UEmpty:
 		return e.newUpdateSet()

@@ -9,11 +9,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"xqindep/internal/cdag"
 	"xqindep/internal/dtd"
+	"xqindep/internal/guard"
 	"xqindep/internal/infer"
 	"xqindep/internal/pathanalysis"
 	"xqindep/internal/typeanalysis"
@@ -34,13 +37,40 @@ const (
 	MethodTypes
 	// MethodPaths is the schema-less path-overlap baseline [15]/[5].
 	MethodPaths
+	// MethodConservative is the bottom of the degradation ladder: it
+	// performs no analysis and always answers "not independent". Since
+	// every method is sound (a true verdict is a guarantee, a false
+	// verdict is merely "could not prove"), answering false is always
+	// safe — it can only cost precision, never correctness.
+	MethodConservative
 )
 
 var methodNames = map[Method]string{
-	MethodChains:      "chains",
-	MethodChainsExact: "chains-exact",
-	MethodTypes:       "types",
-	MethodPaths:       "paths",
+	MethodChains:       "chains",
+	MethodChainsExact:  "chains-exact",
+	MethodTypes:        "types",
+	MethodPaths:        "paths",
+	MethodConservative: "conservative",
+}
+
+// fallbackLadder orders the methods tried when m exceeds its budget,
+// strongest first. Every rung is sound, so swapping a stronger rung
+// for a weaker one can only turn "independent" into "unknown" — never
+// the reverse — and the ladder always terminates: MethodConservative
+// consumes no budget at all.
+func fallbackLadder(m Method) []Method {
+	switch m {
+	case MethodChainsExact:
+		return []Method{MethodChainsExact, MethodChains, MethodTypes, MethodPaths, MethodConservative}
+	case MethodChains:
+		return []Method{MethodChains, MethodTypes, MethodPaths, MethodConservative}
+	case MethodTypes:
+		return []Method{MethodTypes, MethodPaths, MethodConservative}
+	case MethodPaths:
+		return []Method{MethodPaths, MethodConservative}
+	default:
+		return []Method{m}
+	}
 }
 
 func (m Method) String() string {
@@ -71,6 +101,26 @@ type Result struct {
 	Witnesses []string
 	// Elapsed is the analysis wall-clock time.
 	Elapsed time.Duration
+	// Degraded reports that the requested method exceeded its budget
+	// and Method is a weaker (but still sound) rung of the fallback
+	// ladder. A degraded Independent=true verdict is still a proof.
+	Degraded bool
+	// FallbackChain lists every method attempted, strongest first,
+	// ending with the one that produced the verdict. Empty unless
+	// Degraded.
+	FallbackChain []Method
+	// Err is the budget error that forced the first degradation
+	// (wraps guard.ErrBudgetExceeded). Nil unless Degraded.
+	Err error
+}
+
+// Options configures AnalyzeContext.
+type Options struct {
+	// Limits bounds the analysis; zero fields take guard defaults.
+	Limits guard.Limits
+	// NoFallback disables the degradation ladder: a budget overrun is
+	// returned as an error instead of a weaker verdict.
+	NoFallback bool
 }
 
 // Analyzer decides query-update independence for documents valid
@@ -97,42 +147,126 @@ func check(q xquery.Query, u xquery.Update) error {
 	return nil
 }
 
-// Analyze decides independence of the pair with the given method.
+// Analyze decides independence of the pair with the given method,
+// under default limits and with the degradation ladder enabled.
 func (a *Analyzer) Analyze(q xquery.Query, u xquery.Update, m Method) (Result, error) {
-	if err := check(q, u); err != nil {
+	return a.AnalyzeContext(context.Background(), q, u, m, Options{})
+}
+
+// AnalyzeContext decides independence of the pair with the given
+// method under ctx and opts.Limits.
+//
+// When the method exceeds its budget (deadline, chain/node count, or
+// multiplicity k beyond Limits.MaxK) and fallback is enabled, the
+// analysis degrades along fallbackLadder(m): each weaker rung runs
+// against the same (already partly spent) budget, and the final
+// conservative rung costs nothing, so the call returns promptly after
+// a deadline instead of failing. The degraded result records what
+// happened in Degraded, FallbackChain and Err.
+//
+// An explicitly cancelled ctx returns context.Canceled with no
+// verdict: cancellation means the caller no longer wants an answer,
+// while a deadline means it wants the best answer available now.
+//
+// Any panic escaping the analysis internals is converted into a
+// *guard.InternalError carrying the panic value and stack.
+func (a *Analyzer) AnalyzeContext(ctx context.Context, q xquery.Query, u xquery.Update, m Method, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, ok := methodNames[m]; !ok {
+		return Result{}, fmt.Errorf("core: unknown method %v", m)
+	}
+	// The quasi-closedness check walks the AST and panics on foreign
+	// node types; convert that to an InternalError here too.
+	var cerr error
+	if err := guard.Do(func() { cerr = check(q, u) }); err != nil {
 		return Result{}, err
 	}
+	if cerr != nil {
+		return Result{}, cerr
+	}
 	start := time.Now()
-	res := Result{Method: m}
+	ladder := fallbackLadder(m)
+	if opts.NoFallback {
+		ladder = ladder[:1]
+	}
+	var attempted []Method
+	var firstBudgetErr error
+	for i, rung := range ladder {
+		attempted = append(attempted, rung)
+		res, err := a.analyzeOnce(ctx, rung, q, u, opts.Limits)
+		if err == nil {
+			res.Elapsed = time.Since(start)
+			if i > 0 {
+				res.Degraded = true
+				res.FallbackChain = attempted
+				res.Err = firstBudgetErr
+			}
+			return res, nil
+		}
+		if !errors.Is(err, guard.ErrBudgetExceeded) || i == len(ladder)-1 {
+			// Internal errors, cancellation, malformed input — or a
+			// budget overrun with nowhere left to fall.
+			return Result{}, err
+		}
+		if firstBudgetErr == nil {
+			firstBudgetErr = err
+		}
+	}
+	// Unreachable: MethodConservative never errors.
+	return Result{}, firstBudgetErr
+}
+
+// analyzeOnce runs a single ladder rung under a fresh budget, with
+// the panic-to-error boundary installed.
+func (a *Analyzer) analyzeOnce(ctx context.Context, m Method, q xquery.Query, u xquery.Update, lim guard.Limits) (res Result, err error) {
+	defer guard.Recover(&err)
+	b := guard.New(ctx, lim)
+	res.Method = m
 	switch m {
 	case MethodChains:
-		v := cdag.Independence(a.D, q, u)
+		k := infer.KPair(q, u)
+		if err := b.CheckK(k); err != nil {
+			return Result{}, err
+		}
+		v := cdag.IndependenceBudget(a.D, q, u, b)
 		res.Independent = v.Independent
 		res.K = v.K
 		res.Witnesses = v.Reasons
 	case MethodChainsExact:
-		v := infer.Independence(a.D, q, u)
+		k := infer.KPair(q, u)
+		if err := b.CheckK(k); err != nil {
+			return Result{}, err
+		}
+		v := infer.IndependenceBudget(a.D, q, u, b)
 		res.Independent = v.Independent
 		res.K = v.K
 		for _, c := range v.Conflicts {
 			res.Witnesses = append(res.Witnesses, c.String())
 		}
 	case MethodTypes:
-		v := typeanalysis.Independence(a.D, q, u)
+		v := typeanalysis.IndependenceBudget(a.D, q, u, b)
 		res.Independent = v.Independent
 		if !v.Independent {
 			res.Witnesses = append(res.Witnesses, fmt.Sprintf("type overlap %v", v.Overlap))
 		}
 	case MethodPaths:
-		v := pathanalysis.Independence(q, u)
+		v, perr := pathanalysis.IndependenceBudget(q, u, b)
+		if perr != nil {
+			return Result{}, perr
+		}
 		res.Independent = v.Independent
 		if !v.Independent {
 			res.Witnesses = append(res.Witnesses, fmt.Sprintf("path overlap %s vs %s", v.Witness[0], v.Witness[1]))
 		}
+	case MethodConservative:
+		// No work, no budget use: always reachable, always sound.
+		res.Independent = false
+		res.Witnesses = []string{"analysis budget exceeded; conservatively assuming dependence"}
 	default:
 		return Result{}, fmt.Errorf("core: unknown method %v", m)
 	}
-	res.Elapsed = time.Since(start)
 	return res, nil
 }
 

@@ -62,6 +62,9 @@ func NewExtended(start string, content map[string]*Regex, label map[string]strin
 	types = append([]string{start}, types...)
 	d := &DTD{Start: start, Types: types, Content: content, Label: label}
 	for _, t := range types {
+		if err := content[t].Validate(); err != nil {
+			return nil, fmt.Errorf("dtd: content model of %q: %w", t, err)
+		}
 		for _, s := range content[t].SymbolList() {
 			if s != StringType {
 				if _, ok := content[s]; !ok {

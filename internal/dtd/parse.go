@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"xqindep/internal/guard"
 )
 
 // Parse reads a schema in either of two syntaxes and builds a DTD.
@@ -31,10 +33,21 @@ import (
 // <!ATTLIST ...> declarations are accepted and ignored (the paper's
 // benchmark rewriting removes attribute use).
 func Parse(input string) (*DTD, error) {
-	if strings.Contains(input, "<!ELEMENT") {
-		return parseClassic(input)
+	return ParseLimited(input, guard.DefaultLimits())
+}
+
+// ParseLimited is Parse under explicit parser limits: MaxParseInput
+// bounds the schema text size and MaxParseDepth bounds parenthesis
+// nesting in content models. Zero limit fields take defaults.
+func ParseLimited(input string, lim guard.Limits) (*DTD, error) {
+	lim = lim.OrDefaults()
+	if len(input) > lim.MaxParseInput {
+		return nil, fmt.Errorf("dtd: input of %d bytes exceeds the %d-byte limit", len(input), lim.MaxParseInput)
 	}
-	return parseCompact(input)
+	if strings.Contains(input, "<!ELEMENT") {
+		return parseClassic(input, lim)
+	}
+	return parseCompact(input, lim)
 }
 
 // MustParse is Parse, panicking on error; for fixtures.
@@ -46,7 +59,7 @@ func MustParse(input string) *DTD {
 	return d
 }
 
-func parseCompact(input string) (*DTD, error) {
+func parseCompact(input string, lim guard.Limits) (*DTD, error) {
 	content := make(map[string]*Regex)
 	label := make(map[string]string)
 	start := ""
@@ -78,7 +91,7 @@ func parseCompact(input string) (*DTD, error) {
 		if _, dup := content[name]; dup {
 			return nil, fmt.Errorf("dtd: line %d: type %q declared twice", ln+1, name)
 		}
-		r, err := parseRegex(strings.TrimSpace(rhs))
+		r, err := parseRegexLimited(strings.TrimSpace(rhs), lim.MaxParseDepth)
 		if err != nil {
 			return nil, fmt.Errorf("dtd: line %d: %w", ln+1, err)
 		}
@@ -99,7 +112,7 @@ func parseCompact(input string) (*DTD, error) {
 	return NewExtended(start, content, label)
 }
 
-func parseClassic(input string) (*DTD, error) {
+func parseClassic(input string, lim guard.Limits) (*DTD, error) {
 	content := make(map[string]*Regex)
 	start := ""
 	rest := input
@@ -131,7 +144,7 @@ func parseClassic(input string) (*DTD, error) {
 				return nil, fmt.Errorf("dtd: type %q declared twice", name)
 			}
 			model := strings.TrimSpace(strings.Join(fields[2:], " "))
-			r, err := parseContentModel(model)
+			r, err := parseContentModel(model, lim.MaxParseDepth)
 			if err != nil {
 				return nil, fmt.Errorf("dtd: element %s: %w", name, err)
 			}
@@ -151,14 +164,14 @@ func parseClassic(input string) (*DTD, error) {
 	return New(start, content)
 }
 
-func parseContentModel(model string) (*Regex, error) {
+func parseContentModel(model string, maxDepth int) (*Regex, error) {
 	switch model {
 	case "EMPTY":
 		return Epsilon(), nil
 	case "ANY":
 		return nil, fmt.Errorf("ANY content is not supported")
 	}
-	return parseRegex(model)
+	return parseRegexLimited(model, maxDepth)
 }
 
 func checkName(name string) error {
@@ -183,12 +196,18 @@ func checkName(name string) error {
 //	post := atom ("*" | "+" | "?")*
 //	atom := "(" alt ")" | "#PCDATA" | name | "()"
 type regexParser struct {
-	in  string
-	pos int
+	in       string
+	pos      int
+	depth    int
+	maxDepth int
 }
 
 func parseRegex(s string) (*Regex, error) {
-	p := &regexParser{in: s}
+	return parseRegexLimited(s, guard.DefaultMaxParseDepth)
+}
+
+func parseRegexLimited(s string, maxDepth int) (*Regex, error) {
+	p := &regexParser{in: s, maxDepth: maxDepth}
 	r, err := p.alt()
 	if err != nil {
 		return nil, err
@@ -214,6 +233,11 @@ func (p *regexParser) peek() byte {
 }
 
 func (p *regexParser) alt() (*Regex, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.maxDepth > 0 && p.depth > p.maxDepth {
+		return nil, fmt.Errorf("content model nesting exceeds the limit of %d", p.maxDepth)
+	}
 	first, err := p.seq()
 	if err != nil {
 		return nil, err

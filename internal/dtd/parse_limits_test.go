@@ -1,0 +1,79 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"xqindep/internal/guard"
+)
+
+func TestParseLimits(t *testing.T) {
+	nestedModel := func(n int) string {
+		return "doc <- " + strings.Repeat("(", n) + "a" + strings.Repeat(")", n) + "\na <- ()\n"
+	}
+	cases := []struct {
+		name  string
+		input string
+		lim   guard.Limits
+		ok    bool
+	}{
+		{"normal schema", "doc <- (a | b)*\na <- ()\nb <- ()", guard.Limits{MaxParseDepth: 64}, true},
+		{"nesting under limit", nestedModel(10), guard.Limits{MaxParseDepth: 64}, true},
+		{"nesting over limit", nestedModel(200), guard.Limits{MaxParseDepth: 64}, false},
+		{"default depth rejects pathological nesting", nestedModel(100000), guard.Limits{}, false},
+		{"input under size limit", "doc <- ()", guard.Limits{MaxParseInput: 64}, true},
+		{"input over size limit", "doc <- ()" + strings.Repeat(" ", 100), guard.Limits{MaxParseInput: 64}, false},
+		{"classic notation nesting over limit",
+			"<!ELEMENT doc " + strings.Repeat("(", 200) + "a" + strings.Repeat(")", 200) + "><!ELEMENT a EMPTY>",
+			guard.Limits{MaxParseDepth: 64}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseLimited(c.input, c.lim)
+			if c.ok && err != nil {
+				t.Errorf("ParseLimited = %v, want success", err)
+			}
+			if !c.ok && err == nil {
+				t.Errorf("ParseLimited succeeded, want limit error")
+			}
+		})
+	}
+}
+
+func TestRegexValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		r    *Regex
+		ok   bool
+	}{
+		{"epsilon", Epsilon(), true},
+		{"symbol", Sym("a"), true},
+		{"well-formed composite", Star(Alt(Sym("a"), Seq(Sym("b"), Sym("c")))), true},
+		{"nil regex", nil, false},
+		{"unknown op", &Regex{Op: Op(99)}, false},
+		{"empty symbol", &Regex{Op: OpSym}, false},
+		{"unary sequence", &Regex{Op: OpSeq, Kids: []*Regex{Sym("a")}}, false},
+		{"childless star", &Regex{Op: OpStar}, false},
+		{"invalid nested child", Star(&Regex{Op: Op(99)}), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.r.Validate()
+			if c.ok && err != nil {
+				t.Errorf("Validate = %v, want nil", err)
+			}
+			if !c.ok && err == nil {
+				t.Errorf("Validate = nil, want error")
+			}
+		})
+	}
+}
+
+// TestNewRejectsInvalidRegex: DTD construction validates content
+// models instead of panicking later in NFA compilation.
+func TestNewRejectsInvalidRegex(t *testing.T) {
+	_, err := New("doc", map[string]*Regex{"doc": {Op: Op(99)}})
+	if err == nil {
+		t.Fatal("New accepted an invalid content model")
+	}
+}

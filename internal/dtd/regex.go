@@ -7,6 +7,7 @@
 package dtd
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
@@ -82,7 +83,50 @@ func Plus(r *Regex) *Regex { return &Regex{Op: OpPlus, Kids: []*Regex{r}} }
 // Opt returns r?.
 func Opt(r *Regex) *Regex { return &Regex{Op: OpOpt, Kids: []*Regex{r}} }
 
-// Nullable reports whether r matches the empty word.
+// Validate checks that r is structurally well formed: every node has a
+// known Op and the child count the Op demands. DTD constructors run it
+// on every content model so the traversal helpers below can assume a
+// valid tree and degrade conservatively (instead of panicking) if one
+// is mutated behind their back.
+func (r *Regex) Validate() error {
+	if r == nil {
+		return fmt.Errorf("dtd: nil regex")
+	}
+	switch r.Op {
+	case OpEpsilon:
+		if len(r.Kids) != 0 {
+			return fmt.Errorf("dtd: epsilon regex with %d children", len(r.Kids))
+		}
+	case OpSym:
+		if r.Sym == "" {
+			return fmt.Errorf("dtd: symbol regex with empty symbol")
+		}
+		if len(r.Kids) != 0 {
+			return fmt.Errorf("dtd: symbol regex with %d children", len(r.Kids))
+		}
+	case OpSeq, OpAlt:
+		if len(r.Kids) < 2 {
+			return fmt.Errorf("dtd: %d-ary sequence/alternation", len(r.Kids))
+		}
+	case OpStar, OpPlus, OpOpt:
+		if len(r.Kids) != 1 {
+			return fmt.Errorf("dtd: postfix regex with %d children", len(r.Kids))
+		}
+	default:
+		return fmt.Errorf("dtd: unknown regex op %d", int(r.Op))
+	}
+	for _, k := range r.Kids {
+		if err := k.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Nullable reports whether r matches the empty word. An invalid Op is
+// read as non-nullable — the conservative choice (it forces validation
+// to demand content that can never appear, failing loudly rather than
+// silently accepting).
 func (r *Regex) Nullable() bool {
 	switch r.Op {
 	case OpEpsilon, OpStar, OpOpt:
@@ -106,7 +150,7 @@ func (r *Regex) Nullable() bool {
 	case OpPlus:
 		return r.Kids[0].Nullable()
 	}
-	panic("dtd: bad regex op")
+	return false
 }
 
 // Symbols appends every symbol syntactically occurring in r to set.
@@ -199,7 +243,7 @@ func (r *Regex) format(b *strings.Builder, prec int) {
 			b.WriteByte('?')
 		}
 	default:
-		panic("dtd: bad regex op")
+		fmt.Fprintf(b, "<bad op %d>", int(r.Op))
 	}
 }
 
@@ -272,7 +316,9 @@ func (n *nfa) compile(r *Regex) (int, int) {
 		}
 		return s, e
 	}
-	panic("dtd: bad regex op")
+	// Invalid op: compile to the empty-language fragment (no path from
+	// start to end), so no word validates against a corrupted model.
+	return n.addState(), n.addState()
 }
 
 func compileNFA(r *Regex) *nfa {
@@ -386,7 +432,7 @@ func (r *Regex) Precedes() map[string]map[string]bool {
 		case OpOpt:
 			return walk(r.Kids[0])
 		}
-		panic("dtd: bad regex op")
+		return nil // invalid op: no occurrences, no order pairs
 	}
 	walk(r)
 	return pairs
@@ -471,5 +517,5 @@ func regexSatisfiable(r *Regex, allow func(string) bool) bool {
 	case OpPlus:
 		return regexSatisfiable(r.Kids[0], allow)
 	}
-	panic("dtd: bad regex op")
+	return false // invalid op: nothing can be emitted from it
 }

@@ -7,18 +7,49 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"xqindep/internal/cdag"
+	"xqindep/internal/dtd"
 	"xqindep/internal/eval"
+	"xqindep/internal/guard"
 	"xqindep/internal/pathanalysis"
 	"xqindep/internal/rbench"
 	"xqindep/internal/typeanalysis"
 	"xqindep/internal/xmark"
 	"xqindep/internal/xmltree"
+	"xqindep/internal/xquery"
 )
+
+// AnalysisTimeout and AnalysisLimits bound every individual chain
+// analysis of the benchmark (zero values mean defaults / no deadline).
+// cmd/xqbench wires its -timeout and -max-nodes flags here. A run
+// that exceeds the budget is counted as "not independent" — the
+// conservative reading, which keeps the soundness assertion of
+// Figure3b meaningful.
+var (
+	AnalysisTimeout time.Duration
+	AnalysisLimits  guard.Limits
+)
+
+// chainVerdict runs the CDAG analysis under the package budget.
+func chainVerdict(d *dtd.DTD, q xquery.Query, u xquery.Update) cdag.Verdict {
+	ctx := context.Background()
+	if AnalysisTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, AnalysisTimeout)
+		defer cancel()
+	}
+	b := guard.New(ctx, AnalysisLimits)
+	var v cdag.Verdict
+	if err := guard.Do(func() { v = cdag.IndependenceBudget(d, q, u, b) }); err != nil {
+		return cdag.Verdict{Independent: false, Reasons: []string{fmt.Sprintf("budget exceeded: %v", err)}}
+	}
+	return v
+}
 
 // Figure3aRow is one bar of Figure 3.a: the time to analyse one update
 // against all 36 views, per technique.
@@ -42,7 +73,7 @@ func Figure3a() []Figure3aRow {
 		row := Figure3aRow{Update: u.Name, KMin: 1 << 30}
 		start := time.Now()
 		for _, v := range views {
-			verdict := cdag.Independence(d, v.AST, u.AST)
+			verdict := chainVerdict(d, v.AST, u.AST)
 			if verdict.K < row.KMin {
 				row.KMin = verdict.K
 			}
@@ -96,9 +127,12 @@ func Figure3b(truth *xmark.Truth) ([]Figure3bRow, error) {
 			if !dep {
 				row.TrueIndep++
 			}
-			cv := cdag.Independence(d, v.AST, u.AST)
+			cv := chainVerdict(d, v.AST, u.AST)
 			tv := ta.CheckIndependence(v.AST, u.AST)
-			pv := pathanalysis.Independence(v.AST, u.AST)
+			pv, perr := pathanalysis.Independence(v.AST, u.AST)
+			if perr != nil {
+				return nil, fmt.Errorf("experiments: path analysis %s-%s: %v", u.Name, v.Name, perr)
+			}
 			if dep && (cv.Independent || tv.Independent || pv.Independent) {
 				return nil, fmt.Errorf("experiments: unsound verdict for %s-%s (chains=%v types=%v paths=%v)",
 					u.Name, v.Name, cv.Independent, tv.Independent, pv.Independent)
@@ -172,7 +206,7 @@ func Figure3c(factors []float64) []Figure3cRow {
 		chainIndep[u.Name] = make(map[string]bool)
 		typeIndep[u.Name] = make(map[string]bool)
 		for _, v := range views {
-			chainIndep[u.Name][v.Name] = cdag.Independence(d, v.AST, u.AST).Independent
+			chainIndep[u.Name][v.Name] = chainVerdict(d, v.AST, u.AST).Independent
 			typeIndep[u.Name][v.Name] = ta.CheckIndependence(v.AST, u.AST).Independent
 		}
 	}

@@ -1,0 +1,311 @@
+// Package guard provides the resource-budget and panic-safety
+// substrate of the analysis engine. A single pathological input — a
+// deeply recursive schema driving the exponential explicit-set engine,
+// a hostile AST, an adversarial parse — must never crash or wedge the
+// process. The package offers three tools:
+//
+//   - Limits and Budget: a per-analysis resource budget (wall-clock
+//     deadline and cancellation via context.Context, maximum
+//     multiplicity k, maximum chain-set cardinality, maximum CDAG
+//     growth, maximum parser nesting depth and input size) with a
+//     cheap Tick()/Check() API that engine hot loops call
+//     cooperatively.
+//
+//   - Abort-by-panic with a typed sentinel: hot loops must stay free
+//     of error plumbing, so Tick and the Add* counters abort by
+//     panicking with an internal marker that Recover translates back
+//     into the budget error at the engine boundary (the idiom of
+//     encoding/json and text/template).
+//
+//   - Recover: the panic-to-error boundary. Any other panic escaping
+//     an internal package is converted into a *InternalError carrying
+//     the recovered value and stack, so callers see a diagnosable
+//     error instead of a crashed process.
+//
+// Budget errors satisfy errors.Is(err, ErrBudgetExceeded); the caller
+// (package core) reacts by descending a sound degradation ladder. A
+// cancelled context is deliberately NOT a budget error: cancellation
+// means the caller no longer wants any verdict, so context.Canceled
+// propagates unchanged.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrBudgetExceeded is the sentinel matched by errors.Is for every
+// limit violation (deadline, k, chains, nodes, depth, input size).
+var ErrBudgetExceeded = errors.New("analysis budget exceeded")
+
+// Limits bounds one analysis. The zero value of each field means "use
+// the package default" (see DefaultLimits); set a field to NoLimit to
+// disable that bound entirely.
+type Limits struct {
+	// MaxK bounds the multiplicity k = kq + ku of the finite chain
+	// analysis; pairs requiring a larger k exceed the budget.
+	MaxK int
+	// MaxChains bounds the number of chains materialised by the
+	// explicit-set engine (and pattern count of the path baseline).
+	MaxChains int
+	// MaxNodes bounds graph growth: CDAG edge insertions in the
+	// polynomial engine and node counts of parsed XML trees.
+	MaxNodes int
+	// MaxParseDepth bounds the nesting depth accepted by the schema,
+	// query/update and document parsers.
+	MaxParseDepth int
+	// MaxParseInput bounds parser input size in bytes.
+	MaxParseInput int
+}
+
+// NoLimit disables an individual bound.
+const NoLimit = int(^uint(0) >> 1) // MaxInt
+
+// Default limit values. They are deliberately generous: ordinary
+// analyses stay far below them, while degenerate inputs hit them long
+// before exhausting memory.
+const (
+	DefaultMaxK          = 64
+	DefaultMaxChains     = 1 << 18
+	DefaultMaxNodes      = 1 << 22
+	DefaultMaxParseDepth = 512
+	DefaultMaxParseInput = 8 << 20
+)
+
+// DefaultLimits returns the default budget.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxK:          DefaultMaxK,
+		MaxChains:     DefaultMaxChains,
+		MaxNodes:      DefaultMaxNodes,
+		MaxParseDepth: DefaultMaxParseDepth,
+		MaxParseInput: DefaultMaxParseInput,
+	}
+}
+
+// OrDefaults replaces every zero field with its default value.
+func (l Limits) OrDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxK == 0 {
+		l.MaxK = d.MaxK
+	}
+	if l.MaxChains == 0 {
+		l.MaxChains = d.MaxChains
+	}
+	if l.MaxNodes == 0 {
+		l.MaxNodes = d.MaxNodes
+	}
+	if l.MaxParseDepth == 0 {
+		l.MaxParseDepth = d.MaxParseDepth
+	}
+	if l.MaxParseInput == 0 {
+		l.MaxParseInput = d.MaxParseInput
+	}
+	return l
+}
+
+// LimitError reports which bound was violated; it unwraps to
+// ErrBudgetExceeded.
+type LimitError struct {
+	// Resource names the exhausted bound: "deadline", "k", "chains",
+	// "nodes", "depth" or "input".
+	Resource string
+	// Limit is the configured bound (0 when not applicable, e.g. for
+	// the deadline).
+	Limit int
+}
+
+func (e *LimitError) Error() string {
+	if e.Limit > 0 {
+		return fmt.Sprintf("guard: %s limit %d exceeded: %v", e.Resource, e.Limit, ErrBudgetExceeded)
+	}
+	return fmt.Sprintf("guard: %s exceeded: %v", e.Resource, ErrBudgetExceeded)
+}
+
+func (e *LimitError) Unwrap() error { return ErrBudgetExceeded }
+
+// InternalError wraps a panic recovered at the engine boundary: an
+// internal invariant was violated (or a hostile AST reached an
+// impossible case). The stack identifies the faulty package without
+// taking the process down.
+type InternalError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("guard: internal error (recovered panic): %v", e.Value)
+}
+
+// Budget tracks consumption against Limits for one analysis run. A
+// nil *Budget is valid and unlimited, so call sites never need to
+// branch. Budgets are not safe for concurrent use; every analysis
+// runs on one goroutine.
+type Budget struct {
+	ctx    context.Context
+	lim    Limits
+	nodes  int
+	chains int
+	ticks  uint
+}
+
+// tickStride is how many Ticks pass between context checks; ctx.Err
+// costs an atomic load plus a mutex in the worst case, so hot loops
+// amortise it.
+const tickStride = 1 << 10
+
+// New builds a budget enforcing lim (zero fields defaulted) under
+// ctx. A nil ctx means context.Background().
+func New(ctx context.Context, lim Limits) *Budget {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Budget{ctx: ctx, lim: lim.OrDefaults()}
+}
+
+// Limits returns the effective (defaulted) limits.
+func (b *Budget) Limits() Limits {
+	if b == nil {
+		return Limits{
+			MaxK: NoLimit, MaxChains: NoLimit, MaxNodes: NoLimit,
+			MaxParseDepth: NoLimit, MaxParseInput: NoLimit,
+		}
+	}
+	return b.lim
+}
+
+// Context returns the budget's context (Background for a nil budget).
+func (b *Budget) Context() context.Context {
+	if b == nil {
+		return context.Background()
+	}
+	return b.ctx
+}
+
+// Tick is the cooperative checkpoint for hot loops: roughly every
+// tickStride calls it checks the deadline/cancellation and aborts by
+// panicking with the budget error (translated back by Recover). The
+// common path is one increment and one branch.
+func (b *Budget) Tick() {
+	if b == nil {
+		return
+	}
+	b.ticks++
+	if b.ticks%tickStride != 0 {
+		return
+	}
+	if err := b.ctxErr(); err != nil {
+		Abort(err)
+	}
+}
+
+// Check is the non-panicking checkpoint for error-returning code: it
+// reports the deadline/cancellation state without aborting.
+func (b *Budget) Check() error {
+	if b == nil {
+		return nil
+	}
+	return b.ctxErr()
+}
+
+// ctxErr translates the context state: a missed deadline is a budget
+// error (the ladder may still degrade), explicit cancellation
+// propagates as context.Canceled.
+func (b *Budget) ctxErr() error {
+	if err := b.ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return &LimitError{Resource: "deadline"}
+		}
+		return err
+	}
+	return nil
+}
+
+// AddNodes charges n units of graph growth (CDAG edges, tree nodes)
+// and aborts when the node budget is exhausted.
+func (b *Budget) AddNodes(n int) {
+	if b == nil {
+		return
+	}
+	b.nodes += n
+	if b.nodes > b.lim.MaxNodes {
+		Abort(&LimitError{Resource: "nodes", Limit: b.lim.MaxNodes})
+	}
+	b.Tick()
+}
+
+// AddChains charges n materialised chains (or path patterns) and
+// aborts when the chain budget is exhausted.
+func (b *Budget) AddChains(n int) {
+	if b == nil {
+		return
+	}
+	b.chains += n
+	if b.chains > b.lim.MaxChains {
+		Abort(&LimitError{Resource: "chains", Limit: b.lim.MaxChains})
+	}
+	b.Tick()
+}
+
+// Nodes returns the graph-growth units charged so far.
+func (b *Budget) Nodes() int {
+	if b == nil {
+		return 0
+	}
+	return b.nodes
+}
+
+// Chains returns the chains charged so far.
+func (b *Budget) Chains() int {
+	if b == nil {
+		return 0
+	}
+	return b.chains
+}
+
+// CheckK reports a budget error when the multiplicity k exceeds the
+// bound; the caller decides before starting a chain analysis.
+func (b *Budget) CheckK(k int) error {
+	if b == nil || k <= b.lim.MaxK {
+		return nil
+	}
+	return &LimitError{Resource: "k", Limit: b.lim.MaxK}
+}
+
+// abort is the typed panic payload distinguishing budget aborts from
+// genuine engine panics.
+type abort struct{ err error }
+
+// Abort unwinds to the nearest Recover, which returns err from the
+// enclosing function. Only budget-style control flow should use it.
+func Abort(err error) { panic(&abort{err: err}) }
+
+// Recover is the engine boundary: deferred as
+//
+//	defer guard.Recover(&err)
+//
+// it translates an Abort back into its error and converts any other
+// panic into a *InternalError with the captured stack. With no panic
+// in flight it does nothing.
+func Recover(errp *error) {
+	switch r := recover().(type) {
+	case nil:
+	case *abort:
+		*errp = r.err
+	default:
+		*errp = &InternalError{Value: r, Stack: debug.Stack()}
+	}
+}
+
+// Do runs f under a Recover boundary and returns the translated
+// error; a convenience for call sites outside package core (the
+// experiments driver, fuzz harnesses).
+func Do(f func()) (err error) {
+	defer Recover(&err)
+	f()
+	return nil
+}

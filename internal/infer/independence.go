@@ -5,6 +5,7 @@ import (
 
 	"xqindep/internal/chain"
 	"xqindep/internal/dtd"
+	"xqindep/internal/guard"
 	"xqindep/internal/xquery"
 )
 
@@ -83,6 +84,7 @@ func (in *Inferrer) CheckIndependence(q xquery.Query, u xquery.Update) Verdict {
 		conflicts = append(conflicts, Conflict{Kind: UpdateInRet, Pair: p})
 	}
 	for _, w := range uc.Chains() {
+		in.B.Tick()
 		f := w.Full()
 		for _, cv := range qc.Used.Chains() {
 			switch {
@@ -110,5 +112,14 @@ func (in *Inferrer) CheckIndependence(q xquery.Query, u xquery.Update) Verdict {
 // over d.
 func Independence(d *dtd.DTD, q xquery.Query, u xquery.Update) Verdict {
 	in := New(d, KPair(q, u))
+	return in.CheckIndependence(q, u)
+}
+
+// IndependenceBudget is Independence under a resource budget: the
+// engine charges b for every materialised chain and checks the
+// deadline cooperatively, aborting via guard.Abort when exhausted
+// (recover with guard.Recover or guard.Do at the caller).
+func IndependenceBudget(d *dtd.DTD, q xquery.Query, u xquery.Update, b *guard.Budget) Verdict {
+	in := NewBudget(d, KPair(q, u), b)
 	return in.CheckIndependence(q, u)
 }

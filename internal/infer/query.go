@@ -40,6 +40,7 @@ func emptyChains() QueryChains {
 
 // Query infers the chain sets of q under Γ, implementing Table 1.
 func (in *Inferrer) Query(g Env, q xquery.Query) QueryChains {
+	in.B.Tick()
 	switch n := q.(type) {
 	case xquery.Empty:
 		return emptyChains() // (EMPTY)
@@ -108,6 +109,7 @@ func (in *Inferrer) stepRule(g Env, n xquery.Step) QueryChains {
 		// (STEPF): no used chains — return chains extend the context,
 		// so every conflict is caught through them.
 		for _, c := range ctx.Chains() {
+			in.B.Tick()
 			for _, rc := range in.StepChains(c, n.Axis, n.Test) {
 				out.Ret.Add(rc)
 			}
@@ -118,6 +120,7 @@ func (in *Inferrer) stepRule(g Env, n xquery.Step) QueryChains {
 	// convert productive context chains to used chains, because the
 	// result chains need not contain the context chain as a prefix.
 	for _, c := range ctx.Chains() {
+		in.B.Tick()
 		rc := in.StepChains(c, n.Axis, n.Test)
 		for _, r := range rc {
 			out.Ret.Add(r)
@@ -148,6 +151,7 @@ func (in *Inferrer) forRule(g Env, n xquery.For) QueryChains {
 	// items: a for over an element or string query still executes its
 	// body once per constructed item.
 	for _, c := range chain.Union(c1.Ret, c1.Elem).Chains() {
+		in.B.Tick()
 		body := in.Query(g.Bind(n.Var, chain.NewSet(c)), n.Return)
 		out.Ret.AddAll(body.Ret)
 		out.Elem.AddAll(body.Elem)

@@ -3,6 +3,7 @@ package infer
 import (
 	"xqindep/internal/chain"
 	"xqindep/internal/dtd"
+	"xqindep/internal/guard"
 	"xqindep/internal/xquery"
 )
 
@@ -15,6 +16,11 @@ type Inferrer struct {
 	// K is the tag-multiplicity bound: inference only produces chains
 	// in which every tag occurs at most K times.
 	K int
+	// B, when non-nil, bounds the number of materialised chains and
+	// the wall-clock time; this engine is exponential in the worst
+	// case, so the budget is its only defense against pathological
+	// recursive schemas.
+	B *guard.Budget
 }
 
 // New builds an inferrer; k is clamped to at least 1.
@@ -23,6 +29,13 @@ func New(d *dtd.DTD, k int) *Inferrer {
 		k = 1
 	}
 	return &Inferrer{D: d, K: k}
+}
+
+// NewBudget builds an inferrer charging b (nil means unlimited).
+func NewBudget(d *dtd.DTD, k int, b *guard.Budget) *Inferrer {
+	in := New(d, k)
+	in.B = b
+	return in
 }
 
 // RootChain is the chain {sd} typing the document root, the initial
@@ -43,7 +56,9 @@ func (in *Inferrer) canExtend(c chain.Chain, sym string) bool {
 	return n < in.K
 }
 
-// childChains returns { c.α ∈ Ck | α child type of last(c) }.
+// childChains returns { c.α ∈ Ck | α child type of last(c) }. Every
+// materialised chain is charged to the budget: chain counts are what
+// explode on recursive schemas.
 func (in *Inferrer) childChains(c chain.Chain) []chain.Chain {
 	if c.IsEmpty() {
 		return nil
@@ -54,6 +69,7 @@ func (in *Inferrer) childChains(c chain.Chain) []chain.Chain {
 			out = append(out, c.Extend(beta))
 		}
 	}
+	in.B.AddChains(len(out))
 	return out
 }
 
@@ -62,6 +78,7 @@ func (in *Inferrer) descChains(c chain.Chain) []chain.Chain {
 	var out []chain.Chain
 	stack := in.childChains(c)
 	for len(stack) > 0 {
+		in.B.Tick()
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		out = append(out, x)

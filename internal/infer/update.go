@@ -90,6 +90,7 @@ func (s *UpdateSet) FullChains() *chain.Set {
 // exactly this case (replace with a constructor vs a query returning
 // the new tag).
 func (in *Inferrer) Update(g Env, u xquery.Update) *UpdateSet {
+	in.B.Tick()
 	switch n := u.(type) {
 	case xquery.UEmpty:
 		return NewUpdateSet()
@@ -108,6 +109,7 @@ func (in *Inferrer) Update(g Env, u xquery.Update) *UpdateSet {
 		c1 := in.Query(g, n.In)
 		out := NewUpdateSet()
 		for _, c := range chain.Union(c1.Ret, c1.Elem).Chains() {
+			in.B.Tick()
 			out.AddAll(in.Update(g.Bind(n.Var, chain.NewSet(c)), n.Body))
 		}
 		return out

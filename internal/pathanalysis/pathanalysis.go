@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"xqindep/internal/guard"
 	"xqindep/internal/xquery"
 )
 
@@ -77,7 +78,7 @@ func (p Pattern) closureIdx(i int) []int {
 // Overlap reports whether some word matched by p is a prefix of some
 // word matched by q or vice versa — the destabilization test.
 func Overlap(p, q Pattern) bool {
-	return overlap(p, q, func(i, j int, np, nq int) bool { return i == np || j == nq })
+	return overlap(nil, p, q, func(i, j int, np, nq int) bool { return i == np || j == nq })
 }
 
 // OverlapBelow reports whether some word matched by up is a prefix of
@@ -85,13 +86,13 @@ func Overlap(p, q Pattern) bool {
 // for inspected nodes: a change at or above an inspected node matters,
 // a change strictly below it does not.
 func OverlapBelow(up, qp Pattern) bool {
-	return overlap(up, qp, func(i, j int, np, nq int) bool { return i == np })
+	return overlap(nil, up, qp, func(i, j int, np, nq int) bool { return i == np })
 }
 
 // overlap runs a product search over pattern positions; accept decides
 // the conflict condition given the positions (after ε-closure) and the
 // pattern lengths.
-func overlap(p, q Pattern, accept func(i, j, np, nq int) bool) bool {
+func overlap(b *guard.Budget, p, q Pattern, accept func(i, j, np, nq int) bool) bool {
 	type state struct{ i, j int }
 	var queue []state
 	seen := map[state]bool{}
@@ -108,6 +109,7 @@ func overlap(p, q Pattern, accept func(i, j, np, nq int) bool) bool {
 	}
 	push(0, 0)
 	for len(queue) > 0 {
+		b.Tick()
 		s := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		if accept(s.i, s.j, len(p), len(q)) {
@@ -149,50 +151,84 @@ func (g env) bind(v string, ps []Pattern) env {
 	return out
 }
 
-// queryPatterns returns (returned, inspected) pattern sets for q.
-func queryPatterns(g env, q xquery.Query) ([]Pattern, []Pattern) {
+// queryPatterns returns (returned, inspected) pattern sets for q. An
+// unrecognised AST node yields an error rather than a panic: the path
+// analysis is the last rung of the degradation ladder, so it must
+// fail cleanly instead of taking the process down.
+func queryPatterns(b *guard.Budget, g env, q xquery.Query) ([]Pattern, []Pattern, error) {
+	b.Tick()
 	switch n := q.(type) {
 	case xquery.Empty, xquery.StringLit:
-		return nil, nil
+		return nil, nil, nil
 	case xquery.Var:
-		return g[n.Name], nil
+		return g[n.Name], nil, nil
 	case xquery.Step:
 		ctx := g[n.Var]
 		var ret []Pattern
 		for _, p := range ctx {
 			ret = append(ret, stepPatterns(p, n.Axis, n.Test)...)
 		}
-		return ret, ctx
+		return ret, ctx, nil
 	case xquery.Sequence:
-		r1, i1 := queryPatterns(g, n.Left)
-		r2, i2 := queryPatterns(g, n.Right)
-		return append(r1, r2...), append(i1, i2...)
+		r1, i1, err := queryPatterns(b, g, n.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		r2, i2, err := queryPatterns(b, g, n.Right)
+		if err != nil {
+			return nil, nil, err
+		}
+		return append(r1, r2...), append(i1, i2...), nil
 	case xquery.If:
-		r0, i0 := queryPatterns(g, n.Cond)
-		r1, i1 := queryPatterns(g, n.Then)
-		r2, i2 := queryPatterns(g, n.Else)
-		return append(r1, r2...), append(append(append(i0, r0...), i1...), i2...)
+		r0, i0, err := queryPatterns(b, g, n.Cond)
+		if err != nil {
+			return nil, nil, err
+		}
+		r1, i1, err := queryPatterns(b, g, n.Then)
+		if err != nil {
+			return nil, nil, err
+		}
+		r2, i2, err := queryPatterns(b, g, n.Else)
+		if err != nil {
+			return nil, nil, err
+		}
+		return append(r1, r2...), append(append(append(i0, r0...), i1...), i2...), nil
 	case xquery.For:
-		r1, i1 := queryPatterns(g, n.In)
-		r2, i2 := queryPatterns(g.bind(n.Var, r1), n.Return)
-		return r2, append(i1, i2...)
+		r1, i1, err := queryPatterns(b, g, n.In)
+		if err != nil {
+			return nil, nil, err
+		}
+		r2, i2, err := queryPatterns(b, g.bind(n.Var, r1), n.Return)
+		if err != nil {
+			return nil, nil, err
+		}
+		return r2, append(i1, i2...), nil
 	case xquery.Let:
-		r1, i1 := queryPatterns(g, n.Bind)
-		r2, i2 := queryPatterns(g.bind(n.Var, r1), n.Return)
-		return r2, append(i1, i2...)
+		r1, i1, err := queryPatterns(b, g, n.Bind)
+		if err != nil {
+			return nil, nil, err
+		}
+		r2, i2, err := queryPatterns(b, g.bind(n.Var, r1), n.Return)
+		if err != nil {
+			return nil, nil, err
+		}
+		return r2, append(i1, i2...), nil
 	case xquery.Element:
 		// Constructed elements copy the content subtrees entirely: a
 		// change anywhere below a copied node alters the result, so
 		// the content patterns are inspected together with their
 		// downward extensions.
-		r, i := queryPatterns(g, n.Content)
+		r, i, err := queryPatterns(b, g, n.Content)
+		if err != nil {
+			return nil, nil, err
+		}
 		out := append(i, r...)
 		for _, p := range r {
 			out = append(out, p.extend(item{kind: itemDesc}).extend(item{kind: itemAny}))
 		}
-		return nil, out
+		return nil, out, nil
 	default:
-		panic(fmt.Sprintf("pathanalysis: unknown query node %T", q))
+		return nil, nil, fmt.Errorf("pathanalysis: unknown query node %T", q)
 	}
 }
 
@@ -224,28 +260,54 @@ func stepPatterns(p Pattern, axis xquery.Axis, test xquery.NodeTest) []Pattern {
 }
 
 // updatePatterns returns the patterns of update-affected regions.
-func updatePatterns(g env, u xquery.Update) []Pattern {
+func updatePatterns(b *guard.Budget, g env, u xquery.Update) ([]Pattern, error) {
+	b.Tick()
 	switch n := u.(type) {
 	case xquery.UEmpty:
-		return nil
+		return nil, nil
 	case xquery.USeq:
-		return append(updatePatterns(g, n.Left), updatePatterns(g, n.Right)...)
+		l, err := updatePatterns(b, g, n.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := updatePatterns(b, g, n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
 	case xquery.UIf:
-		return append(updatePatterns(g, n.Then), updatePatterns(g, n.Else)...)
+		l, err := updatePatterns(b, g, n.Then)
+		if err != nil {
+			return nil, err
+		}
+		r, err := updatePatterns(b, g, n.Else)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
 	case xquery.UFor:
-		r1, _ := queryPatterns(g, n.In)
-		return updatePatterns(g.bind(n.Var, r1), n.Body)
+		r1, _, err := queryPatterns(b, g, n.In)
+		if err != nil {
+			return nil, err
+		}
+		return updatePatterns(b, g.bind(n.Var, r1), n.Body)
 	case xquery.ULet:
-		r1, _ := queryPatterns(g, n.Bind)
-		return updatePatterns(g.bind(n.Var, r1), n.Body)
+		r1, _, err := queryPatterns(b, g, n.Bind)
+		if err != nil {
+			return nil, err
+		}
+		return updatePatterns(b, g.bind(n.Var, r1), n.Body)
 	case xquery.Delete:
-		r0, _ := queryPatterns(g, n.Target)
-		return r0
+		r0, _, err := queryPatterns(b, g, n.Target)
+		return r0, err
 	case xquery.Rename:
-		r0, _ := queryPatterns(g, n.Target)
-		return r0
+		r0, _, err := queryPatterns(b, g, n.Target)
+		return r0, err
 	case xquery.Insert:
-		r0, _ := queryPatterns(g, n.Target)
+		r0, _, err := queryPatterns(b, g, n.Target)
+		if err != nil {
+			return nil, err
+		}
 		var out []Pattern
 		for _, p := range r0 {
 			// Changes land below the target (into) or beside it
@@ -253,16 +315,19 @@ func updatePatterns(g env, u xquery.Update) []Pattern {
 			// the schema-less abstraction.
 			out = append(out, p, p.extend(item{kind: itemDesc}).extend(item{kind: itemAny}))
 		}
-		return out
+		return out, nil
 	case xquery.Replace:
-		r0, _ := queryPatterns(g, n.Target)
+		r0, _, err := queryPatterns(b, g, n.Target)
+		if err != nil {
+			return nil, err
+		}
 		var out []Pattern
 		for _, p := range r0 {
 			out = append(out, p, p.extend(item{kind: itemDesc}).extend(item{kind: itemAny}))
 		}
-		return out
+		return out, nil
 	default:
-		panic(fmt.Sprintf("pathanalysis: unknown update node %T", u))
+		return nil, fmt.Errorf("pathanalysis: unknown update node %T", u)
 	}
 }
 
@@ -276,11 +341,25 @@ type Verdict struct {
 }
 
 // Independence runs the schema-less analysis on a quasi-closed pair.
-func Independence(q xquery.Query, u xquery.Update) Verdict {
+func Independence(q xquery.Query, u xquery.Update) (Verdict, error) {
+	return IndependenceBudget(q, u, nil)
+}
+
+// IndependenceBudget is Independence under a resource budget: pattern
+// extraction and the overlap product search tick b cooperatively, so a
+// deadline or node limit aborts via guard.Abort (recover with
+// guard.Recover or guard.Do at the caller). A nil budget is unlimited.
+func IndependenceBudget(q xquery.Query, u xquery.Update, b *guard.Budget) (Verdict, error) {
 	root := []Pattern{{}}
 	g := env{xquery.RootVar: root}
-	ret, insp := queryPatterns(g, q)
-	ups := updatePatterns(g, u)
+	ret, insp, err := queryPatterns(b, g, q)
+	if err != nil {
+		return Verdict{}, err
+	}
+	ups, err := updatePatterns(b, g, u)
+	if err != nil {
+		return Verdict{}, err
+	}
 	v := Verdict{Independent: true}
 	for _, p := range ret {
 		v.QueryPatterns = append(v.QueryPatterns, p.String())
@@ -302,18 +381,19 @@ func Independence(q xquery.Query, u xquery.Update) Verdict {
 		}
 	}
 	for _, up := range ups {
+		b.Tick()
 		// Returned subtrees conflict with changes above or below them.
 		for _, qp := range ret {
-			if Overlap(qp, up) {
-				return dependent(qp, up)
+			if overlap(b, qp, up, func(i, j, np, nq int) bool { return i == np || j == nq }) {
+				return dependent(qp, up), nil
 			}
 		}
 		// Inspected nodes conflict only with changes at or above them.
 		for _, qp := range insp {
-			if OverlapBelow(up, qp) {
-				return dependent(qp, up)
+			if overlap(b, up, qp, func(i, j, np, nq int) bool { return i == np }) {
+				return dependent(qp, up), nil
 			}
 		}
 	}
-	return v
+	return v, nil
 }

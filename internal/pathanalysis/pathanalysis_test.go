@@ -12,6 +12,16 @@ import (
 
 func pat(items ...item) Pattern { return Pattern(items) }
 
+// mustIndep runs Independence failing the test on error.
+func mustIndep(t *testing.T, q xquery.Query, u xquery.Update) Verdict {
+	t.Helper()
+	v, err := Independence(q, u)
+	if err != nil {
+		t.Fatalf("Independence: %v", err)
+	}
+	return v
+}
+
 func sym(s string) item { return item{kind: itemSym, sym: s} }
 func anyItem() item     { return item{kind: itemAny} }
 func desc() item        { return item{kind: itemDesc} }
@@ -56,17 +66,17 @@ func TestPatternString(t *testing.T) {
 // independence for q1/u1 and q2/u2 (Section 1) — both are flagged
 // dependent.
 func TestPaperIntroCases(t *testing.T) {
-	v1 := Independence(xquery.MustParseQuery("//a//c"), xquery.MustParseUpdate("delete //b//c"))
+	v1 := mustIndep(t, xquery.MustParseQuery("//a//c"), xquery.MustParseUpdate("delete //b//c"))
 	if v1.Independent {
 		t.Errorf("path analysis unexpectedly separates //a//c from delete //b//c")
 	}
-	v2 := Independence(xquery.MustParseQuery("//title"),
+	v2 := mustIndep(t, xquery.MustParseQuery("//title"),
 		xquery.MustParseUpdate("for $x in //book return insert <author/> into $x"))
 	if v2.Independent {
 		t.Errorf("path analysis unexpectedly separates //title from the author insert")
 	}
 	// But lexically disjoint downward paths are detected.
-	v3 := Independence(xquery.MustParseQuery("/a/b"), xquery.MustParseUpdate("delete /a/c"))
+	v3 := mustIndep(t, xquery.MustParseQuery("/a/b"), xquery.MustParseUpdate("delete /a/c"))
 	if !v3.Independent {
 		t.Errorf("path analysis missed a trivially disjoint pair: %v vs %v (witness %v)",
 			v3.QueryPatterns, v3.UpdatePatterns, v3.Witness)
@@ -74,7 +84,7 @@ func TestPaperIntroCases(t *testing.T) {
 }
 
 func TestUpwardAxesDegrade(t *testing.T) {
-	v := Independence(xquery.MustParseQuery("//c/.."), xquery.MustParseUpdate("delete /x/y"))
+	v := mustIndep(t, xquery.MustParseQuery("//c/.."), xquery.MustParseUpdate("delete /x/y"))
 	if v.Independent {
 		t.Errorf("upward navigation must degrade to 'anywhere' and conflict")
 	}
@@ -105,7 +115,7 @@ c <- ()
 		for _, us := range updates {
 			q := xquery.MustParseQuery(qs)
 			u := xquery.MustParseUpdate(us)
-			if !Independence(q, u).Independent {
+			if !mustIndep(t, q, u).Independent {
 				continue
 			}
 			if i := eval.DependentOnAny(trees, q, u); i >= 0 {

@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"xqindep/internal/dtd"
+	"xqindep/internal/guard"
 	"xqindep/internal/xquery"
 )
 
@@ -58,10 +59,16 @@ func (t TypeSet) String() string { return fmt.Sprintf("%v", t.Sorted()) }
 // Analyzer performs type-set inference over one DTD.
 type Analyzer struct {
 	D *dtd.DTD
+	// B, when non-nil, checks the wall-clock deadline cooperatively in
+	// the closure and inference loops.
+	B *guard.Budget
 }
 
 // New builds an analyzer.
 func New(d *dtd.DTD) *Analyzer { return &Analyzer{D: d} }
+
+// NewBudget builds an analyzer charging b (nil means unlimited).
+func NewBudget(d *dtd.DTD, b *guard.Budget) *Analyzer { return &Analyzer{D: d, B: b} }
 
 // Env binds variables to the type sets their bindings may have.
 type Env map[string]TypeSet
@@ -93,6 +100,7 @@ func (a *Analyzer) rootEnv() Env {
 
 // Query infers the type sets of q.
 func (a *Analyzer) Query(g Env, q xquery.Query) QueryTypes {
+	a.B.Tick()
 	switch n := q.(type) {
 	case xquery.Empty:
 		return QueryTypes{Returned: TypeSet{}, Accessed: TypeSet{}}
@@ -203,6 +211,7 @@ func (a *Analyzer) closure(t TypeSet) TypeSet {
 		}
 	}
 	for len(stack) > 0 {
+		a.B.Tick()
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, c := range a.D.ChildTypes(x) {
@@ -232,6 +241,7 @@ func (a *Analyzer) descendants(t TypeSet) TypeSet {
 		}
 	}
 	for len(stack) > 0 {
+		a.B.Tick()
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, c := range a.D.ChildTypes(x) {
@@ -361,6 +371,7 @@ type UpdateTypes struct {
 
 // Update infers the impacted types of u.
 func (a *Analyzer) Update(g Env, u xquery.Update) UpdateTypes {
+	a.B.Tick()
 	switch n := u.(type) {
 	case xquery.UEmpty:
 		return UpdateTypes{Impacted: TypeSet{}}
@@ -521,4 +532,11 @@ func (a *Analyzer) CheckIndependence(q xquery.Query, u xquery.Update) Verdict {
 // Independence is the package-level convenience.
 func Independence(d *dtd.DTD, q xquery.Query, u xquery.Update) Verdict {
 	return New(d).CheckIndependence(q, u)
+}
+
+// IndependenceBudget is Independence under a resource budget: the
+// analyzer checks the deadline cooperatively, aborting via guard.Abort
+// when exhausted (recover with guard.Recover or guard.Do).
+func IndependenceBudget(d *dtd.DTD, q xquery.Query, u xquery.Update, b *guard.Budget) Verdict {
+	return NewBudget(d, b).CheckIndependence(q, u)
 }

@@ -5,7 +5,28 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"xqindep/internal/guard"
 )
+
+// limitedReader errors once more than max bytes have been read,
+// instead of silently truncating like io.LimitReader.
+type limitedReader struct {
+	r    io.Reader
+	left int
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.left <= 0 {
+		return 0, fmt.Errorf("xmltree: input exceeds the size limit")
+	}
+	if len(p) > l.left {
+		p = p[:l.left]
+	}
+	n, err := l.r.Read(p)
+	l.left -= n
+	return n, err
+}
 
 // Parse reads an XML document from r into a fresh store and returns
 // the resulting tree. Attributes, comments, processing instructions
@@ -13,10 +34,27 @@ import (
 // paper's data model has element and text nodes only, and its
 // benchmark rewriting removes attribute use.
 func Parse(r io.Reader) (Tree, error) {
-	dec := xml.NewDecoder(r)
+	return ParseLimited(r, guard.DefaultLimits())
+}
+
+// ParseLimited is Parse under explicit resource limits: MaxParseInput
+// bounds the raw input size, MaxParseDepth the element nesting depth
+// and MaxNodes the total node count of the resulting tree. Zero limit
+// fields take defaults.
+func ParseLimited(r io.Reader, lim guard.Limits) (Tree, error) {
+	lim = lim.OrDefaults()
+	dec := xml.NewDecoder(&limitedReader{r: r, left: lim.MaxParseInput})
 	s := NewStore()
 	var stack []Loc
 	var root Loc
+	nodes := 0
+	addNode := func() error {
+		nodes++
+		if nodes > lim.MaxNodes {
+			return fmt.Errorf("xmltree: parse: document has more than %d nodes", lim.MaxNodes)
+		}
+		return nil
+	}
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -27,6 +65,12 @@ func Parse(r io.Reader) (Tree, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			if len(stack) >= lim.MaxParseDepth {
+				return Tree{}, fmt.Errorf("xmltree: parse: element nesting exceeds the limit of %d", lim.MaxParseDepth)
+			}
+			if err := addNode(); err != nil {
+				return Tree{}, err
+			}
 			el := s.NewElement(t.Name.Local)
 			if len(stack) == 0 {
 				if root != NilLoc {
@@ -49,6 +93,9 @@ func Parse(r io.Reader) (Tree, error) {
 			txt := string(t)
 			if strings.TrimSpace(txt) == "" {
 				continue
+			}
+			if err := addNode(); err != nil {
+				return Tree{}, err
 			}
 			s.AppendChild(stack[len(stack)-1], s.NewText(txt))
 		}

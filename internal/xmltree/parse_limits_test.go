@@ -1,0 +1,51 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+
+	"xqindep/internal/guard"
+)
+
+func nestedDoc(n int) string {
+	return strings.Repeat("<a>", n) + strings.Repeat("</a>", n)
+}
+
+func wideDoc(n int) string {
+	var b strings.Builder
+	b.WriteString("<doc>")
+	for i := 0; i < n; i++ {
+		b.WriteString("<a/>")
+	}
+	b.WriteString("</doc>")
+	return b.String()
+}
+
+func TestParseLimits(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		lim  guard.Limits
+		ok   bool
+	}{
+		{"normal document", "<doc><a>x</a></doc>", guard.Limits{MaxParseDepth: 16, MaxNodes: 64}, true},
+		{"depth at boundary", nestedDoc(16), guard.Limits{MaxParseDepth: 16}, true},
+		{"depth one past boundary", nestedDoc(17), guard.Limits{MaxParseDepth: 16}, false},
+		{"default depth rejects pathological nesting", nestedDoc(100000), guard.Limits{}, false},
+		{"node count at boundary", wideDoc(63), guard.Limits{MaxNodes: 64}, true},
+		{"node count past boundary", wideDoc(64), guard.Limits{MaxNodes: 64}, false},
+		{"input under size limit", "<doc/>", guard.Limits{MaxParseInput: 64}, true},
+		{"input over size limit", "<doc>" + strings.Repeat("x", 100) + "</doc>", guard.Limits{MaxParseInput: 64}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseLimited(strings.NewReader(c.doc), c.lim)
+			if c.ok && err != nil {
+				t.Errorf("ParseLimited = %v, want success", err)
+			}
+			if !c.ok && err == nil {
+				t.Errorf("ParseLimited succeeded, want limit error")
+			}
+		})
+	}
+}

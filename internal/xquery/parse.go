@@ -3,6 +3,8 @@ package xquery
 import (
 	"fmt"
 	"strings"
+
+	"xqindep/internal/guard"
 )
 
 // ParseQuery parses a query of the fragment. Surface XPath paths
@@ -20,7 +22,19 @@ import (
 //     both operand paths become condition queries;
 //   - element constructors with nested content: <a><b/>{$x/c}</a>.
 func ParseQuery(input string) (Query, error) {
-	p := &parser{in: input}
+	return ParseQueryLimited(input, guard.DefaultLimits())
+}
+
+// ParseQueryLimited is ParseQuery under explicit parser limits:
+// MaxParseInput bounds the input size and MaxParseDepth bounds both
+// expression nesting and the number of steps per path (which the
+// desugaring turns into nesting). Zero limit fields take defaults.
+func ParseQueryLimited(input string, lim guard.Limits) (Query, error) {
+	lim = lim.OrDefaults()
+	if len(input) > lim.MaxParseInput {
+		return nil, fmt.Errorf("xquery: input of %d bytes exceeds the %d-byte limit", len(input), lim.MaxParseInput)
+	}
+	p := &parser{in: input, maxDepth: lim.MaxParseDepth}
 	q := p.parseExpr()
 	p.ws()
 	if p.err == nil && p.pos != len(p.in) {
@@ -47,7 +61,17 @@ func MustParseQuery(input string) Query {
 // ParseUpdate parses an update expression of the fragment, with the
 // same path sugar as ParseQuery in embedded queries.
 func ParseUpdate(input string) (Update, error) {
-	p := &parser{in: input}
+	return ParseUpdateLimited(input, guard.DefaultLimits())
+}
+
+// ParseUpdateLimited is ParseUpdate under explicit parser limits (see
+// ParseQueryLimited).
+func ParseUpdateLimited(input string, lim guard.Limits) (Update, error) {
+	lim = lim.OrDefaults()
+	if len(input) > lim.MaxParseInput {
+		return nil, fmt.Errorf("xquery: input of %d bytes exceeds the %d-byte limit", len(input), lim.MaxParseInput)
+	}
+	p := &parser{in: input, maxDepth: lim.MaxParseDepth}
 	u := p.parseUpdate()
 	p.ws()
 	if p.err == nil && p.pos != len(p.in) {
@@ -76,7 +100,26 @@ type parser struct {
 	// ctxVar, when non-empty, is the context variable for relative
 	// paths (inside predicates).
 	ctxVar string
+	// depth tracks recursive-production nesting; exceeding maxDepth is
+	// a parse error, which bounds both parser stack use and the depth
+	// of the produced AST (every later analysis walks it recursively).
+	depth    int
+	maxDepth int
 }
+
+// enter charges one nesting level, failing the parse past the limit.
+// Callers must return immediately (with a dummy node) on false, which
+// unwinds the recursion; leave undoes the charge on the success path.
+func (p *parser) enter() bool {
+	p.depth++
+	if p.maxDepth > 0 && p.depth > p.maxDepth {
+		p.fail("expression nesting exceeds the limit of %d", p.maxDepth)
+		return false
+	}
+	return true
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) fail(format string, args ...any) {
 	if p.err == nil {
@@ -204,6 +247,10 @@ func (p *parser) parseExpr() Query {
 }
 
 func (p *parser) parseSingle() Query {
+	if !p.enter() {
+		return Empty{}
+	}
+	defer p.leave()
 	p.ws()
 	switch p.peekWord() {
 	case "for":
@@ -259,6 +306,10 @@ const ctxPredVar = "$%ctx"
 // parsePath parses a primary expression followed by optional path
 // steps and desugars the result.
 func (p *parser) parsePath() Query {
+	if !p.enter() {
+		return Empty{}
+	}
+	defer p.leave()
 	p.ws()
 	var base Query
 	switch {
@@ -335,6 +386,12 @@ func (p *parser) parseSteps(firstDescends bool) []stepSpec {
 		steps = append(steps, stepSpec{axis: DescendantOrSelf, test: AnyNode()})
 	}
 	for {
+		if p.maxDepth > 0 && len(steps) >= p.maxDepth {
+			// Desugaring nests one for-expression per step, so the step
+			// count is nesting depth in disguise.
+			p.fail("path of more than %d steps exceeds the nesting limit", p.maxDepth)
+			return steps
+		}
 		steps = append(steps, p.parseStep())
 		if p.err != nil {
 			return steps
@@ -484,6 +541,10 @@ func (p *parser) filter(base Query, pred Query) Query {
 // parsePredicateExpr parses a predicate condition with or/and/not and
 // comparisons; see ParseQuery doc for the desugaring.
 func (p *parser) parsePredicateExpr() Query {
+	if !p.enter() {
+		return Empty{}
+	}
+	defer p.leave()
 	q := p.parsePredicateAnd()
 	for p.err == nil && p.eatWord("or") {
 		// EBV(q1, q2) is true iff either is non-empty.
@@ -557,6 +618,10 @@ func (p *parser) parsePredicateValue() Query {
 // parseElement parses <a/>, <a>…</a> with nested constructors, raw
 // text and {expr} holes.
 func (p *parser) parseElement() Query {
+	if !p.enter() {
+		return Empty{}
+	}
+	defer p.leave()
 	p.expect("<")
 	tag := p.name()
 	p.ws()
@@ -616,6 +681,10 @@ func (p *parser) parseUpdate() Update {
 }
 
 func (p *parser) parseUpdateSingle() Update {
+	if !p.enter() {
+		return UEmpty{}
+	}
+	defer p.leave()
 	p.ws()
 	switch p.peekWord() {
 	case "for":

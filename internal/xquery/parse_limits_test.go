@@ -1,0 +1,73 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"xqindep/internal/guard"
+)
+
+// nestedQuery builds n nested parenthesised expressions around $x.
+func nestedQuery(n int) string {
+	return strings.Repeat("(", n) + "$x" + strings.Repeat(")", n)
+}
+
+func TestParseQueryLimits(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		lim   guard.Limits
+		ok    bool
+	}{
+		{"depth under limit", nestedQuery(10), guard.Limits{MaxParseDepth: 64}, true},
+		{"depth at limit boundary", nestedQuery(30), guard.Limits{MaxParseDepth: 64}, true},
+		{"depth over limit", nestedQuery(200), guard.Limits{MaxParseDepth: 64}, false},
+		{"default depth accepts normal queries", "for $b in /bib/book return $b/title", guard.Limits{}, true},
+		{"default depth rejects pathological nesting", nestedQuery(100000), guard.Limits{}, false},
+		{"steps under limit", "/" + strings.Repeat("a/", 10) + "a", guard.Limits{MaxParseDepth: 64}, true},
+		{"steps over limit", "/" + strings.Repeat("a/", 200) + "a", guard.Limits{MaxParseDepth: 64}, false},
+		{"input under size limit", "//a", guard.Limits{MaxParseInput: 64}, true},
+		{"input over size limit", "//" + strings.Repeat("a", 100), guard.Limits{MaxParseInput: 64}, false},
+		{"nested predicates over limit", "//a" + strings.Repeat("[b", 200) + strings.Repeat("]", 200), guard.Limits{MaxParseDepth: 64}, false},
+		{"nested elements over limit", strings.Repeat("<a>", 200) + strings.Repeat("</a>", 200), guard.Limits{MaxParseDepth: 64}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseQueryLimited(c.input, c.lim)
+			if c.ok && err != nil {
+				t.Errorf("ParseQueryLimited(%d bytes) = %v, want success", len(c.input), err)
+			}
+			if !c.ok && err == nil {
+				t.Errorf("ParseQueryLimited(%d bytes) succeeded, want limit error", len(c.input))
+			}
+		})
+	}
+}
+
+func TestParseUpdateLimits(t *testing.T) {
+	deepUpdate := func(n int) string {
+		return strings.Repeat("if ($x) then ", n) + "delete //a"
+	}
+	cases := []struct {
+		name  string
+		input string
+		lim   guard.Limits
+		ok    bool
+	}{
+		{"normal update", "delete //a", guard.Limits{MaxParseDepth: 64}, true},
+		{"nesting under limit", deepUpdate(10), guard.Limits{MaxParseDepth: 64}, true},
+		{"nesting over limit", deepUpdate(200), guard.Limits{MaxParseDepth: 64}, false},
+		{"input over size limit", "delete //" + strings.Repeat("a", 100), guard.Limits{MaxParseInput: 64}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseUpdateLimited(c.input, c.lim)
+			if c.ok && err != nil {
+				t.Errorf("ParseUpdateLimited = %v, want success", err)
+			}
+			if !c.ok && err == nil {
+				t.Errorf("ParseUpdateLimited succeeded, want limit error")
+			}
+		})
+	}
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The full verification gate: static checks, build, the race-enabled
+# test suite, and a short fuzz smoke of every fuzz target.
+#
+#   scripts/ci.sh              # everything (~a few minutes)
+#   FUZZTIME=30s scripts/ci.sh # longer fuzz smoke
+#
+# The fuzz smoke caps the minimizer at 2s so a 10s budget is spent
+# actually fuzzing instead of minimizing the first interesting input.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== fuzz smoke (${FUZZTIME} per target)"
+fuzz() {
+  local pkg="$1" target="$2"
+  echo "-- ${target} (${pkg})"
+  go test "${pkg}" -run '^$' -fuzz "^${target}\$" \
+    -fuzztime "${FUZZTIME}" -fuzzminimizetime 2s
+}
+fuzz ./internal/dtd FuzzParseSchema
+fuzz ./internal/xquery FuzzParseQuery
+fuzz ./internal/xquery FuzzParseUpdate
+fuzz . FuzzAnalyzeContext
+
+echo "== ok"

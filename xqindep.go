@@ -26,6 +26,7 @@
 package xqindep
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -34,6 +35,7 @@ import (
 	"xqindep/internal/core"
 	"xqindep/internal/dtd"
 	"xqindep/internal/eval"
+	"xqindep/internal/guard"
 	"xqindep/internal/infer"
 	"xqindep/internal/preserve"
 	"xqindep/internal/xmltree"
@@ -151,13 +153,38 @@ type Method = core.Method
 // Analysis methods: Chains is the paper's contribution on the
 // polynomial CDAG engine (the default); ChainsExact runs the same
 // calculus on explicit chain sets; Types and Paths are the two
-// baselines of the paper's evaluation.
+// baselines of the paper's evaluation. Conservative is the bottom of
+// the degradation ladder: no analysis, always "not independent".
 const (
-	Chains      = core.MethodChains
-	ChainsExact = core.MethodChainsExact
-	Types       = core.MethodTypes
-	Paths       = core.MethodPaths
+	Chains       = core.MethodChains
+	ChainsExact  = core.MethodChainsExact
+	Types        = core.MethodTypes
+	Paths        = core.MethodPaths
+	Conservative = core.MethodConservative
 )
+
+// Limits bounds the resources an analysis may consume. The zero value
+// of any field selects a generous default; use guard.NoLimit semantics
+// by setting very large values.
+type Limits = guard.Limits
+
+// Options configures AnalyzeContext.
+type Options struct {
+	// Limits bounds chain/node counts, multiplicity k and parser
+	// recursion; zero fields take defaults.
+	Limits Limits
+	// NoFallback disables the degradation ladder: budget overruns are
+	// returned as errors instead of weaker verdicts.
+	NoFallback bool
+}
+
+// ErrBudgetExceeded is the sentinel wrapped by every budget-overrun
+// error; test with errors.Is.
+var ErrBudgetExceeded = guard.ErrBudgetExceeded
+
+// InternalError is the typed wrapper for panics recovered at the
+// analysis boundary; it carries the panic value and stack trace.
+type InternalError = guard.InternalError
 
 // Report is the outcome of one analysis.
 type Report struct {
@@ -173,6 +200,18 @@ type Report struct {
 	Witnesses []string
 	// Elapsed is the analysis time.
 	Elapsed time.Duration
+	// Degraded reports that the requested method exceeded its budget
+	// and Method is a weaker — but still sound — technique from the
+	// fallback ladder. A degraded Independent=true is still a proof;
+	// a degraded Independent=false may just mean "ran out of budget".
+	Degraded bool
+	// FallbackChain lists every method attempted, strongest first,
+	// ending with the one that produced the verdict (set when
+	// Degraded).
+	FallbackChain []Method
+	// Err is the budget error that forced the first degradation (set
+	// when Degraded; wraps ErrBudgetExceeded).
+	Err error
 }
 
 // Independent runs the default chain analysis and reports the verdict.
@@ -180,18 +219,39 @@ func (s *Schema) Independent(q *Query, u *Update) (bool, error) {
 	return s.a.Independent(q.ast, u.ast)
 }
 
-// Analyze runs the selected analysis and returns the full report.
+// Analyze runs the selected analysis under default limits and returns
+// the full report.
 func (s *Schema) Analyze(q *Query, u *Update, m Method) (Report, error) {
-	r, err := s.a.Analyze(q.ast, u.ast, m)
+	return s.AnalyzeContext(context.Background(), q, u, m, Options{})
+}
+
+// AnalyzeContext runs the selected analysis under ctx and opts.
+//
+// The analysis observes ctx cooperatively: a deadline makes it
+// degrade along the sound fallback ladder (chains-exact → chains →
+// types → paths → conservative "not independent"), recorded in the
+// report's Degraded/FallbackChain/Err fields, while an explicit
+// cancellation returns context.Canceled with no verdict. Budget
+// overruns (opts.Limits) degrade the same way unless opts.NoFallback
+// is set. Internal panics surface as *InternalError rather than
+// crashing the caller.
+func (s *Schema) AnalyzeContext(ctx context.Context, q *Query, u *Update, m Method, opts Options) (Report, error) {
+	r, err := s.a.AnalyzeContext(ctx, q.ast, u.ast, m, core.Options{
+		Limits:     opts.Limits,
+		NoFallback: opts.NoFallback,
+	})
 	if err != nil {
 		return Report{}, err
 	}
 	return Report{
-		Independent: r.Independent,
-		Method:      r.Method,
-		K:           r.K,
-		Witnesses:   r.Witnesses,
-		Elapsed:     r.Elapsed,
+		Independent:   r.Independent,
+		Method:        r.Method,
+		K:             r.K,
+		Witnesses:     r.Witnesses,
+		Elapsed:       r.Elapsed,
+		Degraded:      r.Degraded,
+		FallbackChain: r.FallbackChain,
+		Err:           r.Err,
 	}, nil
 }
 
