@@ -1,0 +1,128 @@
+// Command xqindepd serves the independence analysis as an always-on
+// daemon: a bounded worker pool with admission control (load shedding
+// under burst), per-schema circuit breaking, per-request resource
+// budgets subdivided from a pool-wide limit, and graceful drain on
+// SIGTERM/SIGINT.
+//
+// HTTP mode (default):
+//
+//	xqindepd -addr :8080
+//	curl -s localhost:8080/analyze -d '{
+//	  "schema": "bib <- book*\nbook <- title\ntitle <- #PCDATA",
+//	  "query": "//title",
+//	  "update": "for $x in //book return insert <author/> into $x"
+//	}'
+//
+// Endpoints: POST /analyze (JSON in/out), GET /healthz (liveness),
+// GET /readyz (readiness: 503 while draining), GET /statz (counters).
+// Verdicts answer 200 (degraded and breaker-served verdicts
+// included); 400 malformed input, 429 shed by admission control, 503
+// draining.
+//
+// Batch mode reads one JSON request per stdin line and writes one
+// JSON response per stdout line, in order:
+//
+//	xqindepd -batch -schema auction.dtd < pairs.jsonl > verdicts.jsonl
+//
+// Lines may omit "schema" when -schema provides a default. Blank
+// lines and #-comments are skipped.
+//
+// Shutdown: on SIGTERM or SIGINT the daemon stops admitting
+// (/readyz turns 503), lets in-flight analyses finish for -drain,
+// then cancels the rest; every analysis observes cancellation
+// cooperatively, so shutdown always completes promptly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xqindep"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		batch     = flag.Bool("batch", false, "read requests from stdin (one JSON object per line) instead of serving HTTP")
+		schemaF   = flag.String("schema", "", "schema file used as the default for batch lines without one")
+		workers   = flag.Int("workers", 0, "analysis pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "admission queue depth (0 = 2x workers); overflow is shed with HTTP 429")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-request analysis wall-clock budget")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful drain deadline on shutdown")
+		maxNodes  = flag.Int("max-nodes", 0, "pool-wide CDAG node budget, subdivided across workers (0 = default)")
+		maxChains = flag.Int("max-chains", 0, "pool-wide explicit chain-set budget, subdivided across workers (0 = default)")
+		maxK      = flag.Int("max-k", 0, "largest accepted multiplicity k (0 = default)")
+		noFall    = flag.Bool("no-fallback", false, "fail on budget overrun instead of degrading to a weaker method")
+		brkN      = flag.Int("breaker-threshold", 5, "consecutive budget blowups on one schema that open its circuit breaker (-1 disables)")
+		brkOff    = flag.Duration("breaker-backoff", time.Second, "initial circuit-breaker open duration (doubles per re-open)")
+		brkMax    = flag.Duration("breaker-max-backoff", 60*time.Second, "circuit-breaker backoff cap")
+		brkJitter = flag.Float64("breaker-jitter", 0.2, "breaker backoff jitter fraction in [0,1)")
+		brkSeed   = flag.Int64("breaker-seed", 0, "breaker jitter seed (0 = fixed default)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: xqindepd [-addr :8080 | -batch] [flags]")
+		flag.PrintDefaults()
+		return 2
+	}
+
+	var defaultSchema string
+	if *schemaF != "" {
+		b, err := os.ReadFile(*schemaF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xqindepd:", err)
+			return 2
+		}
+		defaultSchema = string(b)
+	}
+
+	pool := xqindep.NewPool(xqindep.PoolOptions{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Limits:         xqindep.Limits{MaxNodes: *maxNodes, MaxChains: *maxChains, MaxK: *maxK},
+		RequestTimeout: *timeout,
+		NoFallback:     *noFall,
+		DrainTimeout:   *drain,
+
+		BreakerThreshold:  *brkN,
+		BreakerBackoff:    *brkOff,
+		BreakerMaxBackoff: *brkMax,
+		BreakerJitter:     *brkJitter,
+		BreakerSeed:       *brkSeed,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	if *batch {
+		err := pool.RunBatch(ctx, os.Stdin, os.Stdout, defaultSchema)
+		cerr := pool.Close()
+		if err != nil && err != context.Canceled {
+			fmt.Fprintln(os.Stderr, "xqindepd:", err)
+			return 1
+		}
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, "xqindepd: drain:", cerr)
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Fprintf(os.Stderr, "xqindepd: serving on %s (workers=%d queue=%d)\n",
+		*addr, *workers, *queue)
+	if err := xqindep.Serve(ctx, *addr, pool, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "xqindepd:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "xqindepd: drained, bye")
+	return 0
+}

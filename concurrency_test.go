@@ -1,0 +1,109 @@
+package xqindep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"xqindep/internal/xmark"
+)
+
+// TestConcurrentSharedSchema verifies the documented concurrency
+// contract: Schema, Query and Update are safe for concurrent use by
+// any number of goroutines once constructed. The stress deliberately
+// parses a *fresh* schema per round and hammers it immediately, so the
+// first calls to the lazily-memoized DTD state (recursion/SCC sets,
+// minimum heights, fingerprint) race with analysis work — exactly the
+// window a memoization bug would open. Run under -race (scripts/ci.sh
+// does).
+func TestConcurrentSharedSchema(t *testing.T) {
+	schemas := []string{
+		"bib <- book*\nbook <- title, author*, price?\ntitle <- #PCDATA\nauthor <- #PCDATA\nprice <- #PCDATA",
+		"r <- (x | y | z)*\nx <- (x | y | z)*\ny <- (x | y | z)*\nz <- #PCDATA",
+		xmark.SchemaText,
+	}
+	type pair struct{ q, u string }
+	pairs := []pair{
+		{"//title", "delete //price"},
+		{"//y//z", "delete //x//z"},
+		{"//keyword", "for $p in //person return delete $p/homepage"},
+	}
+	methods := []Method{Chains, ChainsExact, Types, Paths}
+	lim := Limits{MaxK: 6, MaxChains: 1 << 12, MaxNodes: 1 << 14}
+
+	const workers = 16
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for round := 0; round < rounds; round++ {
+		for si, st := range schemas {
+			// Fresh schema each round: the memoized state is cold.
+			s, err := ParseSchema(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var qs []*Query
+			var us []*Update
+			for _, p := range pairs {
+				q, err := ParseQuery(p.q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				u, err := ParseUpdate(p.u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				qs = append(qs, q)
+				us = append(us, u)
+			}
+
+			// Every worker analyzes every pair with every method; the
+			// verdict for a given (pair, method) must not depend on
+			// interleaving.
+			verdicts := make([]sync.Map, len(pairs)*len(methods))
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					// Interleave the metadata accessors with analysis so
+					// their first evaluation races with engine reads.
+					_ = s.IsRecursive()
+					_ = s.Fingerprint()
+					_ = s.Size()
+					for pi := range pairs {
+						for mi, m := range methods {
+							rep, err := s.AnalyzeContext(context.Background(), qs[pi], us[pi], m, Options{Limits: lim})
+							if err != nil {
+								errs <- fmt.Errorf("worker %d pair %d method %v: %v", w, pi, m, err)
+								return
+							}
+							verdicts[pi*len(methods)+mi].Store(rep.Independent, true)
+						}
+					}
+					if _, err := s.Generate(int64(w+1), 0.3, 6); err != nil {
+						errs <- fmt.Errorf("worker %d generate: %v", w, err)
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+			for i := range verdicts {
+				n := 0
+				verdicts[i].Range(func(_, _ any) bool { n++; return true })
+				if n != 1 {
+					t.Errorf("round %d schema %d slot %d: %d distinct verdicts under concurrency", round, si, i, n)
+				}
+			}
+			if t.Failed() {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package xqindep
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"xqindep/internal/xmark"
+)
+
+// TestDifferentialXMarkUnderTightBudgets cross-checks the static
+// analysis against the dynamic oracle on the XMark workload while
+// *starving* it: random view/update pairs run with every method under
+// randomized, deliberately tight budgets, so most runs degrade
+// somewhere along the fallback ladder. The contract under test is the
+// one the ladder promises — a verdict of independence is a proof no
+// matter how degraded the method that produced it. Any sampled
+// document on which the update observably changes the view refutes
+// that proof and fails the test.
+//
+// Seeded and fully deterministic; DIFF_SEED below reproduces a run.
+func TestDifferentialXMarkUnderTightBudgets(t *testing.T) {
+	const diffSeed = 20260806
+	pairsN := 120
+	if testing.Short() {
+		pairsN = 30
+	}
+
+	s, err := ParseSchema(xmark.SchemaText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fixed document sample for the oracle. Depth is capped: the
+	// XMark schema is recursive (parlist), and the oracle only needs
+	// witnesses, not exhaustiveness.
+	var docs []*Document
+	for seed := int64(1); seed <= 12; seed++ {
+		d, err := s.Generate(seed, 0.4, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, d)
+	}
+
+	views := xmark.Views()
+	updates := xmark.Updates()
+	methods := []Method{Chains, ChainsExact, Types, Paths}
+
+	// Oracle verdicts are cached per (view, update): the expensive part
+	// is evaluating on every sampled document.
+	type vu struct{ v, u int }
+	oracle := map[vu]bool{} // true = some document witnesses dependence
+
+	rng := rand.New(rand.NewSource(diffSeed))
+	degraded, independents, refutable := 0, 0, 0
+	for i := 0; i < pairsN; i++ {
+		vi, ui := rng.Intn(len(views)), rng.Intn(len(updates))
+		q, err := ParseQuery(views[vi].Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := ParseUpdate(updates[ui].Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lim := Limits{
+			MaxNodes:  1 << (3 + rng.Intn(11)),
+			MaxChains: 1 << (2 + rng.Intn(9)),
+			MaxK:      1 + rng.Intn(6),
+		}
+		m := methods[rng.Intn(len(methods))]
+
+		rep, err := s.AnalyzeContext(context.Background(), q, u, m, Options{Limits: lim})
+		if err != nil {
+			t.Fatalf("pair %d (%s, %s) method %v limits %+v: %v",
+				i, views[vi].Name, updates[ui].Name, m, lim, err)
+		}
+		if rep.Degraded {
+			degraded++
+		}
+		if !rep.Independent {
+			continue // "not independent" is always safe; nothing to check
+		}
+		independents++
+
+		dep, ok := oracle[vu{vi, ui}]
+		if !ok {
+			dep = false
+			for _, doc := range docs {
+				ind, err := IndependentOn(doc.Copy(), q, u)
+				if err != nil {
+					// The update may be inapplicable on this document
+					// (e.g. a replace with no target); not a witness.
+					continue
+				}
+				if !ind {
+					dep = true
+					break
+				}
+			}
+			oracle[vu{vi, ui}] = dep
+		}
+		if dep {
+			refutable++
+			t.Errorf("UNSOUND: (%s, %s) verdict independent (method %v, degraded %v, fallback %v, limits %+v) but a sampled document witnesses dependence",
+				views[vi].Name, updates[ui].Name, rep.Method, rep.Degraded, rep.FallbackChain, lim)
+		}
+	}
+	t.Logf("differential: %d pairs, %d degraded, %d independent verdicts, %d refuted",
+		pairsN, degraded, independents, refutable)
+	// The run must actually exercise both the ladder and the oracle.
+	if degraded == 0 {
+		t.Error("no run degraded: budgets not tight enough to test the ladder")
+	}
+	if independents == 0 {
+		t.Error("no independent verdicts: soundness check was vacuous")
+	}
+}

@@ -3,6 +3,7 @@ package xqindep
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -55,6 +56,63 @@ func FuzzAnalyzeContext(f *testing.F) {
 			if rep.Degraded && !errors.Is(rep.Err, ErrBudgetExceeded) {
 				t.Fatalf("degraded verdict without a budget error: %+v", rep)
 			}
+		}
+	})
+}
+
+// FuzzParseDocument throws arbitrary bytes at the document parser.
+// Seeds are the documents shipped in examples/. Invariants: malformed
+// input is an ordinary error (no panic, no hang), and an accepted
+// document serialises to a canonical form the parser accepts again and
+// reproduces bit-for-bit (parse∘print is a projection).
+func FuzzParseDocument(f *testing.F) {
+	// The example documents, verbatim (examples/{quickstart,viewmaint,
+	// xmlschema}/main.go), plus edge shapes.
+	f.Add("<doc><a><c/></a><a><c/></a><b><c/></b><a><c/></a></doc>")
+	f.Add(`<site>
+  <items>
+    <item><name>clock</name><description>antique <keyword>rare</keyword></description><mailbox><mail>q1</mail></mailbox></item>
+    <item><name>vase</name><description>ming</description><mailbox/></item>
+  </items>
+  <auctions>
+    <auction><itemname>clock</itemname><price>100</price><bidder>ann</bidder></auction>
+    <auction><itemname>vase</itemname><price>40</price></auction>
+  </auctions>
+</site>`)
+	f.Add(`<directory>
+  <person><name><first>Ada</first><last>Lovelace</last></name><email>ada@x</email></person>
+  <company><name>Analytical Engines Ltd</name><sector>compute</sector></company>
+</directory>`)
+	f.Add("<r><x><y><z>deep</z></y></x></r>")
+	f.Add("<a/>")
+	f.Add("<a>&lt;not a tag&gt;</a>")
+	f.Add("<a><!-- comment --><b attr=\"dropped\"/>text</a>")
+	f.Add("")
+	f.Add("<unclosed>")
+	f.Add(strings.Repeat("<a>", 200) + strings.Repeat("</a>", 200))
+
+	f.Fuzz(func(t *testing.T, text string) {
+		doc, err := ParseDocumentString(text)
+		if err != nil {
+			return
+		}
+		if doc.Size() < 1 {
+			t.Fatalf("accepted document with %d nodes: %q", doc.Size(), text)
+		}
+		// Round trip: the serialised form must parse, and its own
+		// serialisation must be identical (canonicalisation reached a
+		// fixed point after one step).
+		out := doc.String()
+		doc2, err := ParseDocumentString(out)
+		if err != nil {
+			t.Fatalf("serialised form rejected: %v\ninput:  %q\noutput: %q", err, text, out)
+		}
+		if out2 := doc2.String(); out2 != out {
+			t.Fatalf("serialisation not a fixed point:\nfirst:  %q\nsecond: %q", out, out2)
+		}
+		// Copy must be deep and equal.
+		if c := doc.Copy(); c.String() != out {
+			t.Fatalf("copy differs:\norig: %q\ncopy: %q", out, c.String())
 		}
 	})
 }

@@ -223,6 +223,7 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, q xquery.Query, u xquery.
 func (a *Analyzer) analyzeOnce(ctx context.Context, m Method, q xquery.Query, u xquery.Update, lim guard.Limits) (res Result, err error) {
 	defer guard.Recover(&err)
 	b := guard.New(ctx, lim)
+	b.Point("core.analyze")
 	res.Method = m
 	switch m {
 	case MethodChains:

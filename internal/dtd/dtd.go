@@ -1,10 +1,13 @@
 package dtd
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"xqindep/internal/xmltree"
 )
@@ -31,6 +34,20 @@ type DTD struct {
 	nfas     map[string]*nfa
 	precedes map[string]map[string]map[string]bool
 	children map[string][]string
+
+	// Lazily-memoized derived state. A DTD is immutable after New, and
+	// the analysis layers share one *DTD across many concurrent
+	// analyses (a serving pool runs AnalyzeContext from many
+	// goroutines), so each cache is computed exactly once under a
+	// sync.Once and the cached maps are returned as shared read-only
+	// views — callers must not mutate them.
+	recOnce sync.Once
+	recSet  map[string]bool
+	recAny  bool
+	mhOnce  sync.Once
+	mh      map[string]int
+	fpOnce  sync.Once
+	fp      string
 }
 
 // New builds a DTD from a start symbol and content map, checking
@@ -241,8 +258,15 @@ func (d *DTD) AncestorClosure(seed []string) map[string]bool {
 
 // RecursiveTypes returns the set of types that lie on a ⇒d cycle
 // (the recursive types of §5): members of a strongly connected
-// component of size ≥ 2, or with a self-loop.
+// component of size ≥ 2, or with a self-loop. The SCC computation is
+// memoized (the CDAG engine consults it on every analysis); the
+// returned map is a shared read-only view and must not be mutated.
 func (d *DTD) RecursiveTypes() map[string]bool {
+	d.recOnce.Do(d.computeRecursive)
+	return d.recSet
+}
+
+func (d *DTD) computeRecursive() {
 	// Tarjan's SCC algorithm, iterative indexes via recursion (depth is
 	// bounded by |d|, fine for schemas).
 	index := make(map[string]int)
@@ -297,29 +321,38 @@ func (d *DTD) RecursiveTypes() map[string]bool {
 			strongconnect(t)
 		}
 	}
-	return rec
+	d.recSet = rec
+	if rec[d.Start] {
+		d.recAny = true
+		return
+	}
+	for t := range d.DescendantClosure([]string{d.Start}) {
+		if rec[t] {
+			d.recAny = true
+			return
+		}
+	}
 }
 
 // IsRecursive reports whether the DTD has any recursive type reachable
 // from the start symbol (vertical recursion: Cd is infinite iff this
 // holds).
 func (d *DTD) IsRecursive() bool {
-	rec := d.RecursiveTypes()
-	if rec[d.Start] {
-		return true
-	}
-	for t := range d.DescendantClosure([]string{d.Start}) {
-		if rec[t] {
-			return true
-		}
-	}
-	return false
+	d.recOnce.Do(d.computeRecursive)
+	return d.recAny
 }
 
 // MinHeights computes, for every type, the minimal height of a valid
 // tree rooted at that type (a leaf element has height 1; text adds 0).
-// Types admitting no finite valid tree map to -1.
+// Types admitting no finite valid tree map to -1. The fixpoint is
+// memoized; the returned map is a shared read-only view and must not
+// be mutated.
 func (d *DTD) MinHeights() map[string]int {
+	d.mhOnce.Do(func() { d.mh = d.computeMinHeights() })
+	return d.mh
+}
+
+func (d *DTD) computeMinHeights() map[string]int {
 	const inf = 1 << 30
 	h := make(map[string]int, len(d.Types)+1)
 	h[StringType] = 0
@@ -392,6 +425,19 @@ func (d *DTD) String() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// Fingerprint returns a stable content hash of the schema (over the
+// canonical compact rendering, which sorts types deterministically):
+// two DTDs with the same declarations share a fingerprint regardless
+// of how they were written. The serving layer keys its per-schema
+// circuit breakers on it.
+func (d *DTD) Fingerprint() string {
+	d.fpOnce.Do(func() {
+		sum := sha256.Sum256([]byte(d.String()))
+		d.fp = hex.EncodeToString(sum[:16])
+	})
+	return d.fp
 }
 
 // GenerateTree builds a random tree valid w.r.t. d into a fresh store.

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 )
 
 // ErrBudgetExceeded is the sentinel matched by errors.Is for every
@@ -103,6 +104,34 @@ func (l Limits) OrDefaults() Limits {
 	if l.MaxParseInput == 0 {
 		l.MaxParseInput = d.MaxParseInput
 	}
+	return l
+}
+
+// Subdivide returns the per-share limits for splitting this budget
+// across n concurrent consumers (a serving pool's workers): the
+// cumulative resources — chain and node counts — are divided by n,
+// while the structural bounds (k, parser depth, input size), which
+// describe a single input rather than aggregate consumption, carry
+// over unchanged. Zero fields are defaulted first so the division is
+// well defined; NoLimit stays NoLimit; every share keeps at least a
+// minimal usable budget.
+func (l Limits) Subdivide(n int) Limits {
+	if n <= 1 {
+		return l.OrDefaults()
+	}
+	l = l.OrDefaults()
+	div := func(v int) int {
+		if v == NoLimit {
+			return NoLimit
+		}
+		v /= n
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	l.MaxChains = div(l.MaxChains)
+	l.MaxNodes = div(l.MaxNodes)
 	return l
 }
 
@@ -274,6 +303,58 @@ func (b *Budget) CheckK(k int) error {
 		return nil
 	}
 	return &LimitError{Resource: "k", Limit: b.lim.MaxK}
+}
+
+// Fault hook. The analysis engines mark their phase boundaries —
+// chain inference, CDAG construction, conflict check, parsing — by
+// calling Point (inside budgeted code) or FirePoint (outside it).
+// In production no hook is installed and a point costs one atomic
+// load; the faultinject package installs a hook during chaos testing
+// to deterministically turn named points into injected budget
+// exhaustion, errors, or panics.
+
+// FaultHook inspects a named point under the given context and
+// returns a non-nil error to make the point fail.
+type FaultHook func(ctx context.Context, point string) error
+
+var faultHook atomic.Pointer[FaultHook]
+
+// SetFaultHook installs (or, with nil, removes) the process-wide
+// fault hook. Only test harnesses should call this.
+func SetFaultHook(h FaultHook) {
+	if h == nil {
+		faultHook.Store(nil)
+		return
+	}
+	faultHook.Store(&h)
+}
+
+// FirePoint consults the fault hook for a named point; it returns nil
+// when no hook is installed or the hook lets the point pass. For a
+// hook-injected panic the panic propagates (callers sit behind a
+// Recover boundary or isolate it themselves).
+func FirePoint(ctx context.Context, point string) error {
+	h := faultHook.Load()
+	if h == nil {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return (*h)(ctx, point)
+}
+
+// Point marks a phase boundary inside budgeted engine code: a
+// hook-injected error aborts the analysis exactly like a budget
+// overrun (translated back by Recover at the engine boundary).
+func (b *Budget) Point(name string) {
+	h := faultHook.Load()
+	if h == nil {
+		return
+	}
+	if err := (*h)(b.Context(), name); err != nil {
+		Abort(err)
+	}
 }
 
 // abort is the typed panic payload distinguishing budget aborts from

@@ -350,6 +350,7 @@ func Independence(q xquery.Query, u xquery.Update) (Verdict, error) {
 // deadline or node limit aborts via guard.Abort (recover with
 // guard.Recover or guard.Do at the caller). A nil budget is unlimited.
 func IndependenceBudget(q xquery.Query, u xquery.Update, b *guard.Budget) (Verdict, error) {
+	b.Point("paths.check")
 	root := []Pattern{{}}
 	g := env{xquery.RootVar: root}
 	ret, insp, err := queryPatterns(b, g, q)

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"xqindep/internal/core"
+	"xqindep/internal/dtd"
+	"xqindep/internal/guard"
+	"xqindep/internal/xquery"
+)
+
+// AnalyzeRequest is the wire form of one independence question, used
+// by both the HTTP endpoint and the stdin line protocol.
+type AnalyzeRequest struct {
+	// Schema is the schema text (compact or <!ELEMENT> notation).
+	// The batch runner lets it default to a session schema.
+	Schema string `json:"schema,omitempty"`
+	// Query and Update are the expression texts.
+	Query  string `json:"query"`
+	Update string `json:"update"`
+	// Method names the analysis ("chains" when empty).
+	Method string `json:"method,omitempty"`
+	// TimeoutMS optionally tightens the per-request wall clock.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// MaxNodes/MaxChains/MaxK optionally tighten the budget (always
+	// clamped to the pool share).
+	MaxNodes  int `json:"max_nodes,omitempty"`
+	MaxChains int `json:"max_chains,omitempty"`
+	MaxK      int `json:"max_k,omitempty"`
+	// NoFallback turns budget overruns into errors for this request.
+	NoFallback bool `json:"no_fallback,omitempty"`
+}
+
+// AnalyzeResponse is the wire form of a verdict.
+type AnalyzeResponse struct {
+	Independent   bool     `json:"independent"`
+	Method        string   `json:"method,omitempty"`
+	K             int      `json:"k,omitempty"`
+	Degraded      bool     `json:"degraded,omitempty"`
+	FallbackChain []string `json:"fallback_chain,omitempty"`
+	Witnesses     []string `json:"witnesses,omitempty"`
+	ElapsedUS     int64    `json:"elapsed_us"`
+	CircuitOpen   bool     `json:"circuit_open,omitempty"`
+	Schema        string   `json:"schema_fingerprint,omitempty"`
+	Error         string   `json:"error,omitempty"`
+}
+
+// schemaCache memoizes schema text → analyzer so a hot serving loop
+// parses each schema once. It is bounded: at capacity an arbitrary
+// entry is evicted (the workload's few live schemas win statistically
+// without LRU bookkeeping).
+type schemaCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*core.Analyzer
+}
+
+func newSchemaCache(max int) *schemaCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &schemaCache{max: max, m: make(map[string]*core.Analyzer)}
+}
+
+func (c *schemaCache) get(text string) (*core.Analyzer, error) {
+	c.mu.Lock()
+	if a := c.m[text]; a != nil {
+		c.mu.Unlock()
+		return a, nil
+	}
+	c.mu.Unlock()
+	// Parse outside the lock; concurrent duplicate parses are benign
+	// (last writer wins, both analyzers are valid).
+	d, err := dtd.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	a := core.NewAnalyzer(d)
+	c.mu.Lock()
+	if len(c.m) >= c.max {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[text] = a
+	c.mu.Unlock()
+	return a, nil
+}
+
+// Handler serves the analysis API over HTTP:
+//
+//	POST /analyze  — AnalyzeRequest JSON in, AnalyzeResponse JSON out
+//	GET  /healthz  — liveness (200 while the process runs)
+//	GET  /readyz   — readiness (200 while admitting, 503 draining)
+//	GET  /statz    — JSON server counters
+//
+// Status codes: 200 verdicts (including degraded and breaker-served),
+// 400 malformed input, 429 shed by admission control, 503 draining or
+// closed, 500 internal errors.
+type Handler struct {
+	srv     *Server
+	schemas *schemaCache
+	mux     *http.ServeMux
+}
+
+// NewHandler builds the HTTP front end of a server.
+func NewHandler(s *Server) *Handler {
+	h := &Handler{srv: s, schemas: newSchemaCache(0), mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /analyze", h.handleAnalyze)
+	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	h.mux.HandleFunc("GET /readyz", h.handleReadyz)
+	h.mux.HandleFunc("GET /statz", h.handleStatz)
+	return h
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *Handler) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	if !h.srv.Accepting() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (h *Handler) handleStatz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(h.srv.Stats())
+}
+
+func (h *Handler) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	body := http.MaxBytesReader(w, r.Body, 16<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, AnalyzeResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	resp, code := h.Analyze(r.Context(), req)
+	writeJSON(w, code, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Analyze runs one wire-form request through parsing (with fault
+// points at every parser boundary) and the pool, returning the wire
+// response and the HTTP status it maps to. It is the shared core of
+// the HTTP endpoint and the batch line protocol.
+func (h *Handler) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, int) {
+	start := time.Now()
+	fail := func(code int, format string, args ...any) (AnalyzeResponse, int) {
+		return AnalyzeResponse{
+			Error:     fmt.Sprintf(format, args...),
+			ElapsedUS: time.Since(start).Microseconds(),
+		}, code
+	}
+	if req.Schema == "" {
+		return fail(http.StatusBadRequest, "missing schema")
+	}
+	if err := guard.FirePoint(ctx, "parse.schema"); err != nil {
+		return fail(http.StatusBadRequest, "schema: %v", err)
+	}
+	a, err := h.schemas.get(req.Schema)
+	if err != nil {
+		return fail(http.StatusBadRequest, "schema: %v", err)
+	}
+	if err := guard.FirePoint(ctx, "parse.query"); err != nil {
+		return fail(http.StatusBadRequest, "query: %v", err)
+	}
+	q, err := xquery.ParseQuery(req.Query)
+	if err != nil {
+		return fail(http.StatusBadRequest, "query: %v", err)
+	}
+	if err := guard.FirePoint(ctx, "parse.update"); err != nil {
+		return fail(http.StatusBadRequest, "update: %v", err)
+	}
+	u, err := xquery.ParseUpdate(req.Update)
+	if err != nil {
+		return fail(http.StatusBadRequest, "update: %v", err)
+	}
+	method := core.MethodChains
+	if req.Method != "" {
+		method, err = core.ParseMethod(req.Method)
+		if err != nil {
+			return fail(http.StatusBadRequest, "%v", err)
+		}
+	}
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := h.srv.Do(ctx, Task{
+		Analyzer:   a,
+		Query:      q,
+		Update:     u,
+		Method:     method,
+		Limits:     guard.Limits{MaxNodes: req.MaxNodes, MaxChains: req.MaxChains, MaxK: req.MaxK},
+		NoFallback: req.NoFallback,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			return fail(http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
+			return fail(http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return fail(http.StatusServiceUnavailable, "%v", err)
+		default:
+			var ie *guard.InternalError
+			if errors.As(err, &ie) {
+				return fail(http.StatusInternalServerError, "internal error")
+			}
+			return fail(http.StatusBadRequest, "%v", err)
+		}
+	}
+	resp := AnalyzeResponse{
+		Independent: res.Independent,
+		Method:      res.Method.String(),
+		K:           res.K,
+		Degraded:    res.Degraded,
+		Witnesses:   res.Witnesses,
+		ElapsedUS:   time.Since(start).Microseconds(),
+		CircuitOpen: errors.Is(res.Err, ErrCircuitOpen),
+		Schema:      a.D.Fingerprint(),
+	}
+	for _, m := range res.FallbackChain {
+		resp.FallbackChain = append(resp.FallbackChain, m.String())
+	}
+	return resp, http.StatusOK
+}
+
+// RunBatch is the stdin line protocol: one AnalyzeRequest JSON object
+// per input line, one AnalyzeResponse JSON object per output line, in
+// order. Blank lines and #-comments are skipped. A request without a
+// schema inherits defaultSchema (the daemon's -schema flag). The
+// first read or write error stops the loop; per-request failures are
+// reported in the response's error field and do not stop it.
+func RunBatch(ctx context.Context, h *Handler, r io.Reader, w io.Writer, defaultSchema string) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	enc := json.NewEncoder(w)
+	for sc.Scan() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		line := sc.Bytes()
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		var req AnalyzeRequest
+		var resp AnalyzeResponse
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = AnalyzeResponse{Error: "bad request line: " + err.Error()}
+		} else {
+			if req.Schema == "" {
+				req.Schema = defaultSchema
+			}
+			resp, _ = h.Analyze(ctx, req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,468 @@
+// Package server is the fault-tolerant serving layer above the
+// per-call analysis engine: PR 1 made a single AnalyzeContext call
+// budgeted, cancellable and panic-safe; this package makes *many
+// concurrent* calls safe to operate as an always-on service in front
+// of an update stream.
+//
+// The design is defense in depth, outermost first:
+//
+//   - Admission control: a bounded worker pool fed by a bounded queue.
+//     When the queue is full the request is shed immediately with
+//     ErrOverloaded — the server never queues unboundedly, so latency
+//     stays bounded under bursty load and memory under pathological
+//     load.
+//
+//   - Budget subdivision: the pool-wide guard.Limits are subdivided
+//     across workers (guard.Limits.Subdivide), so W concurrent
+//     pathological analyses cannot multiply resource consumption W
+//     times past what the operator configured for the whole process.
+//     Per-request limits are clamped to the per-worker share.
+//
+//   - Circuit breaking: repeated budget blowups on the same schema
+//     (keyed by dtd.Fingerprint) open a per-schema breaker. While
+//     open, requests for that schema get an immediate *conservative
+//     degraded* verdict — "not independent", which is always sound —
+//     instead of burning a worker on an analysis that keeps failing.
+//     After a jittered exponential backoff the breaker goes half-open
+//     and admits one probe; success closes it, failure re-opens it
+//     with a doubled backoff.
+//
+//   - Panic isolation: the engine already converts panics to
+//     *guard.InternalError; the worker adds a second recover so even a
+//     bug in the serving glue takes down one request, not the pool.
+//
+//   - Graceful drain: Shutdown stops admission, lets in-flight (queued
+//     and running) work finish until the deadline, then hard-cancels
+//     the remainder. Every analysis observes cancellation
+//     cooperatively, so drain always terminates.
+//
+// The soundness invariant of the degradation ladder — a verdict of
+// "independent" is a proof, under any budget, fault or overload — is
+// preserved by construction: every short-circuit path (shed, breaker
+// open, drain, cancellation) answers either an error or the
+// conservative "not independent". The chaos suite drives randomized
+// fault schedules (package faultinject) through this layer and
+// cross-checks against the dynamic oracle to enforce exactly that.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xqindep/internal/core"
+	"xqindep/internal/guard"
+	"xqindep/internal/xquery"
+)
+
+// Sentinel errors of the serving layer.
+var (
+	// ErrOverloaded: the admission queue is full; the request was shed
+	// without queueing. Retry with backoff.
+	ErrOverloaded = errors.New("server: overloaded, request shed")
+	// ErrDraining: the server is shutting down and no longer admits.
+	ErrDraining = errors.New("server: draining, not admitting")
+	// ErrClosed: the server has fully shut down.
+	ErrClosed = errors.New("server: closed")
+)
+
+// ErrCircuitOpen marks a conservative verdict served because the
+// schema's circuit breaker is open. It unwraps to ErrBudgetExceeded:
+// an open breaker is the memory of recent budget blowups, so callers
+// (and the Degraded/Err reporting contract) treat it as one.
+var ErrCircuitOpen = fmt.Errorf("server: circuit breaker open: %w", guard.ErrBudgetExceeded)
+
+// Config tunes the serving layer. The zero value of every field
+// selects a sensible default.
+type Config struct {
+	// Workers is the size of the analysis pool (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (default 2×Workers).
+	// Admissions beyond Workers+QueueDepth are shed with
+	// ErrOverloaded.
+	QueueDepth int
+	// Limits is the pool-wide resource budget; it is subdivided across
+	// workers and each request runs under its share (zero fields take
+	// guard defaults before subdividing).
+	Limits guard.Limits
+	// RequestTimeout bounds one analysis' wall-clock time once a
+	// worker picks it up (default 5s; negative disables).
+	RequestTimeout time.Duration
+	// NoFallback disables the degradation ladder pool-wide.
+	NoFallback bool
+	// Breaker configures the per-schema circuit breakers.
+	Breaker BreakerConfig
+	// DrainTimeout bounds Close's graceful drain (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	c.Breaker = c.Breaker.withDefaults()
+	return c
+}
+
+// Task is one independence question.
+type Task struct {
+	// Analyzer wraps the schema; callers reuse one per schema (it is
+	// safe for concurrent use).
+	Analyzer *core.Analyzer
+	// Query and Update are the parsed pair.
+	Query  xquery.Query
+	Update xquery.Update
+	// Method is the requested analysis technique.
+	Method core.Method
+	// Limits optionally tightens the per-request budget; fields are
+	// clamped to the pool's per-worker share (zero = use the share).
+	Limits guard.Limits
+	// NoFallback disables the degradation ladder for this request.
+	NoFallback bool
+}
+
+// Stats is a snapshot of the server counters.
+type Stats struct {
+	Admitted        uint64 // requests accepted into the queue
+	Shed            uint64 // rejected with ErrOverloaded
+	Rejected        uint64 // rejected with ErrDraining/ErrClosed
+	Completed       uint64 // analyses finished (any outcome)
+	Degraded        uint64 // completed with a degraded verdict
+	Failed          uint64 // completed with an error
+	Panics          uint64 // *guard.InternalError outcomes
+	BreakerRejected uint64 // served conservatively, breaker open
+	BreakerTrips    uint64 // closed/half-open → open transitions
+	BreakerProbes   uint64 // half-open probes admitted
+	InFlight        int64  // admitted but not yet completed
+}
+
+type serverState int32
+
+const (
+	stateAccepting serverState = iota
+	stateDraining
+	stateClosed
+)
+
+// job carries one admitted task through the queue.
+type job struct {
+	ctx   context.Context
+	task  Task
+	fp    string
+	probe bool
+	res   core.Result
+	err   error
+	done  chan struct{}
+}
+
+// Server is the concurrent analysis service.
+type Server struct {
+	cfg      Config
+	share    guard.Limits // per-worker subdivision of cfg.Limits
+	queue    chan *job
+	breakers *breakerSet
+	// admitMu serializes admission against shutdown: Do pushes to the
+	// queue under the read lock, Shutdown flips the state under the
+	// write lock, so after Shutdown observes the state change no new
+	// push can race the queue close.
+	admitMu sync.RWMutex
+	state   atomic.Int32
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	workers  sync.WaitGroup
+	inflight sync.WaitGroup
+
+	admitted, shed, rejected    atomic.Uint64
+	completed, degraded, failed atomic.Uint64
+	panics                      atomic.Uint64
+	inFlightN                   atomic.Int64
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+	closed       chan struct{}
+}
+
+// New starts a server with cfg's workers running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		share:    cfg.Limits.Subdivide(cfg.Workers),
+		queue:    make(chan *job, cfg.QueueDepth),
+		breakers: newBreakerSet(cfg.Breaker),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		closed:   make(chan struct{}),
+	}
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Accepting reports whether new work is admitted.
+func (s *Server) Accepting() bool {
+	return serverState(s.state.Load()) == stateAccepting
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	bs := s.breakers.snapshot()
+	return Stats{
+		Admitted:        s.admitted.Load(),
+		Shed:            s.shed.Load(),
+		Rejected:        s.rejected.Load(),
+		Completed:       s.completed.Load(),
+		Degraded:        s.degraded.Load(),
+		Failed:          s.failed.Load(),
+		Panics:          s.panics.Load(),
+		BreakerRejected: bs.rejected,
+		BreakerTrips:    bs.trips,
+		BreakerProbes:   bs.probes,
+		InFlight:        s.inFlightN.Load(),
+	}
+}
+
+// BreakerState reports the breaker state for a schema fingerprint
+// ("closed", "open" or "half-open").
+func (s *Server) BreakerState(fingerprint string) string {
+	return s.breakers.stateOf(fingerprint)
+}
+
+// conservative builds the sound immediate verdict served when the
+// breaker is open: "not independent" can never be wrong.
+func conservative(reason string, err error) core.Result {
+	return core.Result{
+		Independent:   false,
+		Method:        core.MethodConservative,
+		Degraded:      true,
+		FallbackChain: []core.Method{core.MethodConservative},
+		Witnesses:     []string{reason},
+		Err:           err,
+	}
+}
+
+// Do runs one task through admission control and the pool,
+// synchronously. It returns:
+//
+//   - the analysis result (possibly degraded, per the engine's ladder);
+//   - a conservative degraded result with Err == ErrCircuitOpen when
+//     the schema's breaker is open;
+//   - ErrOverloaded when the queue is full, ErrDraining/ErrClosed
+//     during shutdown;
+//   - ctx's error when the caller gives up first (the admitted job
+//     still completes in the background and feeds the breaker).
+func (s *Server) Do(ctx context.Context, t Task) (core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if t.Analyzer == nil || t.Analyzer.D == nil {
+		return core.Result{}, fmt.Errorf("server: task without analyzer")
+	}
+	fp := t.Analyzer.D.Fingerprint()
+	j, err := s.admit(ctx, t, fp)
+	if err != nil {
+		return core.Result{}, err
+	}
+	if j == nil {
+		return conservative("circuit breaker open for this schema; conservatively assuming dependence", ErrCircuitOpen), nil
+	}
+	select {
+	case <-j.done:
+		return j.res, j.err
+	case <-ctx.Done():
+		// The worker will observe the dead context and finish the job
+		// cheaply; we just stop waiting.
+		return core.Result{}, ctx.Err()
+	}
+}
+
+// admit runs admission control under the read lock: state check,
+// breaker check, bounded enqueue. It returns (nil, nil) for a
+// breaker-rejected request (served conservatively by the caller).
+func (s *Server) admit(ctx context.Context, t Task, fp string) (*job, error) {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	switch serverState(s.state.Load()) {
+	case stateDraining:
+		s.rejected.Add(1)
+		return nil, ErrDraining
+	case stateClosed:
+		s.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	admit, probe := s.breakers.allow(fp)
+	if !admit {
+		return nil, nil
+	}
+	j := &job{ctx: ctx, task: t, fp: fp, probe: probe, done: make(chan struct{})}
+	s.inflight.Add(1)
+	select {
+	case s.queue <- j:
+		s.admitted.Add(1)
+		s.inFlightN.Add(1)
+		return j, nil
+	default:
+		s.inflight.Done()
+		if probe {
+			s.breakers.record(fp, outcomeNeutral, true)
+		}
+		s.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.process(j)
+	}
+}
+
+// clamp bounds the per-request limits by the per-worker share: a
+// request may tighten its budget but never exceed the pool's
+// subdivision.
+func clamp(req, share guard.Limits) guard.Limits {
+	req = req.OrDefaults()
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	return guard.Limits{
+		MaxK:          min(req.MaxK, share.MaxK),
+		MaxChains:     min(req.MaxChains, share.MaxChains),
+		MaxNodes:      min(req.MaxNodes, share.MaxNodes),
+		MaxParseDepth: min(req.MaxParseDepth, share.MaxParseDepth),
+		MaxParseInput: min(req.MaxParseInput, share.MaxParseInput),
+	}
+}
+
+// process runs one job on the worker goroutine with panic isolation
+// and feeds its outcome to the schema's breaker.
+func (s *Server) process(j *job) {
+	defer s.inflight.Done()
+	defer s.inFlightN.Add(-1)
+	defer close(j.done)
+
+	if err := j.ctx.Err(); err != nil {
+		// The caller gave up while the job was queued: don't burn a
+		// worker, don't signal the breaker.
+		j.err = err
+		if j.probe {
+			s.breakers.record(j.fp, outcomeNeutral, true)
+		}
+		return
+	}
+
+	jctx, cancel := context.WithCancel(j.ctx)
+	defer cancel()
+	// Hard drain: when the server's base context dies, every running
+	// analysis is cancelled too.
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+	if s.cfg.RequestTimeout > 0 {
+		var tcancel context.CancelFunc
+		jctx, tcancel = context.WithTimeout(jctx, s.cfg.RequestTimeout)
+		defer tcancel()
+	}
+
+	j.res, j.err = s.analyze(jctx, j.task)
+
+	s.completed.Add(1)
+	outcome := outcomeOK
+	switch {
+	case j.err != nil:
+		s.failed.Add(1)
+		var ie *guard.InternalError
+		switch {
+		case errors.As(j.err, &ie):
+			s.panics.Add(1)
+			outcome = outcomeBlowup
+		case errors.Is(j.err, guard.ErrBudgetExceeded):
+			outcome = outcomeBlowup
+		case errors.Is(j.err, context.Canceled) || errors.Is(j.err, context.DeadlineExceeded):
+			// Caller-driven cancellation says nothing about the schema.
+			outcome = outcomeNeutral
+		default:
+			// Malformed input etc.: not a resource blowup.
+			outcome = outcomeNeutral
+		}
+	case j.res.Degraded:
+		s.degraded.Add(1)
+		outcome = outcomeBlowup
+	}
+	s.breakers.record(j.fp, outcome, j.probe)
+}
+
+// analyze is the panic-isolation boundary of the serving glue; the
+// engine has its own, so a panic surfacing here is a server bug — it
+// is still confined to the one request.
+func (s *Server) analyze(ctx context.Context, t Task) (res core.Result, err error) {
+	defer guard.Recover(&err)
+	return t.Analyzer.AnalyzeContext(ctx, t.Query, t.Update, t.Method, core.Options{
+		Limits:     clamp(t.Limits, s.share),
+		NoFallback: t.NoFallback || s.cfg.NoFallback,
+	})
+}
+
+// Shutdown gracefully drains the server: admission stops immediately,
+// queued and running work keeps the workers until it finishes or ctx
+// expires, at which point the remaining analyses are hard-cancelled
+// (they observe cancellation cooperatively and return promptly).
+// Shutdown returns nil when the drain completed before the deadline
+// and ctx.Err() otherwise; either way the server is fully stopped —
+// workers exited — when it returns. Subsequent calls return the first
+// call's result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		s.admitMu.Lock()
+		s.state.Store(int32(stateDraining))
+		s.admitMu.Unlock()
+		drained := make(chan struct{})
+		go func() {
+			s.inflight.Wait()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-ctx.Done():
+			s.shutdownErr = ctx.Err()
+			s.cancel() // hard-cancel in-flight analyses
+			<-drained  // cancellation is cooperative, so this terminates
+		}
+		close(s.queue)
+		s.workers.Wait()
+		s.cancel()
+		s.state.Store(int32(stateClosed))
+		close(s.closed)
+	})
+	<-s.closed
+	return s.shutdownErr
+}
+
+// Close shuts down with the configured DrainTimeout.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}

@@ -1,0 +1,383 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xqindep/internal/core"
+	"xqindep/internal/dtd"
+	"xqindep/internal/faultinject"
+	"xqindep/internal/guard"
+	"xqindep/internal/xquery"
+)
+
+const bibSchema = "bib <- book*\nbook <- title, author*, price?\ntitle <- #PCDATA\nauthor <- #PCDATA\nprice <- #PCDATA"
+
+func mustTask(t *testing.T, schema, q, u string) Task {
+	t.Helper()
+	d, err := dtd.Parse(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, err := xquery.ParseQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := xquery.ParseUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Task{Analyzer: core.NewAnalyzer(d), Query: qa, Update: ua, Method: core.MethodChains}
+}
+
+func TestDoBasic(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	res, err := s.Do(context.Background(), mustTask(t, bibSchema, "//title", "delete //price"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Independent || res.Degraded {
+		t.Fatalf("want clean independent verdict, got %+v", res)
+	}
+	res, err = s.Do(context.Background(), mustTask(t, bibSchema, "//title", "delete //title"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Independent {
+		t.Fatalf("want dependent verdict, got %+v", res)
+	}
+	st := s.Stats()
+	if st.Admitted != 2 || st.Completed != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// stalledTask returns a task whose analysis wedges at the core.analyze
+// fault point until its context dies, plus the context cancel.
+func stalledTask(t *testing.T, schema string) (Task, context.Context, context.CancelFunc) {
+	t.Helper()
+	faultinject.Enable()
+	sched := faultinject.NewSchedule(faultinject.Fault{Point: "core.analyze", Kind: faultinject.KindStall})
+	ctx, cancel := context.WithCancel(context.Background())
+	return mustTask(t, schema, "//title", "delete //price"), faultinject.With(ctx, sched), cancel
+}
+
+func TestOverloadSheds(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1, RequestTimeout: -1})
+	defer s.Close()
+
+	// Wedge the worker and fill the queue: 2 stalled admissions. The
+	// second can race the worker's dequeue of the first and be shed
+	// (QueueDepth is 1), so admission is retried until it sticks.
+	var wg sync.WaitGroup
+	var cancels []context.CancelFunc
+	for i := 0; i < 2; i++ {
+		task, ctx, cancel := stalledTask(t, bibSchema)
+		cancels = append(cancels, cancel)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				_, err := s.Do(ctx, task)
+				if errors.Is(err, ErrOverloaded) {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Errorf("stalled request: %v", err)
+				}
+				return
+			}
+		}()
+	}
+	// Wait until worker busy (in flight) and queue full: InFlight==2
+	// with QueueDepth 1 means the worker holds one stalled job and the
+	// queue the other, so the next admission must shed.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().InFlight != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled requests not admitted: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The admission retries above may themselves have been shed, so the
+	// count is checked relative to this point.
+	shedBefore := s.Stats().Shed
+	_, err := s.Do(context.Background(), mustTask(t, bibSchema, "//title", "delete //price"))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	if got := s.Stats().Shed; got != shedBefore+1 {
+		t.Fatalf("shed %d -> %d, want +1 (stats %+v)", shedBefore, got, s.Stats())
+	}
+	for _, c := range cancels {
+		c()
+	}
+	wg.Wait()
+}
+
+func TestDrainRejectsAndCompletes(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1, RequestTimeout: -1})
+
+	task, ctx, cancel := stalledTask(t, bibSchema)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Do(ctx, task)
+		done <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().InFlight != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled request not admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Shutdown with a short deadline: the stalled analysis cannot
+	// finish voluntarily, so the drain must hard-cancel it and still
+	// terminate.
+	sctx, scancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer scancel()
+	start := time.Now()
+	err := s.Shutdown(sctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from forced drain, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("drain took %v", d)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("stalled request should have been cancelled")
+	}
+
+	// After shutdown, admission fails with ErrClosed.
+	if _, err := s.Do(context.Background(), mustTask(t, bibSchema, "//title", "delete //price")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestGracefulDrainFinishesInFlight(t *testing.T) {
+	s := New(Config{Workers: 1})
+	res, err := s.Do(context.Background(), mustTask(t, bibSchema, "//title", "delete //price"))
+	if err != nil || !res.Independent {
+		t.Fatalf("warmup: %v %+v", err, res)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("clean close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	faultinject.Enable()
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	sched := faultinject.NewSchedule(faultinject.Fault{Point: "cdag.build", Kind: faultinject.KindPanic})
+	ctx := faultinject.With(context.Background(), sched)
+	_, err := s.Do(ctx, mustTask(t, bibSchema, "//title", "delete //price"))
+	var ie *guard.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want InternalError, got %v", err)
+	}
+	if _, ok := ie.Value.(faultinject.PanicValue); !ok {
+		t.Fatalf("unexpected panic payload %v", ie.Value)
+	}
+	// The pool survives: the next request succeeds.
+	res, err := s.Do(context.Background(), mustTask(t, bibSchema, "//title", "delete //price"))
+	if err != nil || !res.Independent {
+		t.Fatalf("pool did not survive panic: %v %+v", err, res)
+	}
+	if s.Stats().Panics != 1 {
+		t.Fatalf("stats: %+v", s.Stats())
+	}
+}
+
+func TestBudgetSubdivisionClamps(t *testing.T) {
+	lim := guard.Limits{MaxNodes: 1000, MaxChains: 800}
+	s := New(Config{Workers: 4, Limits: lim})
+	defer s.Close()
+	if s.share.MaxNodes != 250 || s.share.MaxChains != 200 {
+		t.Fatalf("share: %+v", s.share)
+	}
+	// A request asking for more than the share is clamped to it; one
+	// asking for less keeps its own bound.
+	got := clamp(guard.Limits{MaxNodes: guard.NoLimit, MaxChains: 50}, s.share)
+	if got.MaxNodes != 250 || got.MaxChains != 50 {
+		t.Fatalf("clamp: %+v", got)
+	}
+}
+
+// blowupCtx returns a context whose analysis hits an injected budget
+// fault at the CDAG build, forcing a degraded verdict.
+func blowupCtx(t *testing.T) context.Context {
+	t.Helper()
+	faultinject.Enable()
+	sched := faultinject.NewSchedule(faultinject.Fault{Point: "cdag.build", Kind: faultinject.KindBudget})
+	return faultinject.With(context.Background(), sched)
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	s := New(Config{
+		Workers: 1,
+		Breaker: BreakerConfig{Threshold: 3, Backoff: 100 * time.Millisecond},
+	})
+	defer s.Close()
+	// Deterministic clock and no jitter, so the backoff arithmetic
+	// below is exact.
+	now := time.Unix(0, 0)
+	s.breakers.now = func() time.Time { return now }
+	s.breakers.cfg.Jitter = 0
+
+	task := mustTask(t, bibSchema, "//title", "delete //price")
+	fp := task.Analyzer.D.Fingerprint()
+
+	// Three consecutive budget blowups trip the breaker.
+	for i := 0; i < 3; i++ {
+		res, err := s.Do(blowupCtx(t), task)
+		if err != nil {
+			t.Fatalf("blowup %d: %v", i, err)
+		}
+		if !res.Degraded {
+			t.Fatalf("blowup %d: want degraded, got %+v", i, res)
+		}
+	}
+	if st := s.BreakerState(fp); st != "open" {
+		t.Fatalf("after 3 blowups want open, got %s (stats %+v)", st, s.Stats())
+	}
+
+	// While open: immediate conservative verdict, no analysis burned.
+	res, err := s.Do(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Independent || !res.Degraded || !errors.Is(res.Err, ErrCircuitOpen) {
+		t.Fatalf("open-breaker verdict: %+v", res)
+	}
+	if !errors.Is(res.Err, guard.ErrBudgetExceeded) {
+		t.Fatal("ErrCircuitOpen must unwrap to ErrBudgetExceeded")
+	}
+	completedBefore := s.Stats().Completed
+
+	// A failed probe after the backoff re-opens with doubled backoff.
+	now = now.Add(150 * time.Millisecond)
+	res, err = s.Do(blowupCtx(t), task)
+	if err != nil || !res.Degraded || errors.Is(res.Err, ErrCircuitOpen) {
+		t.Fatalf("probe should run a real (failing) analysis: %v %+v", err, res)
+	}
+	if st := s.BreakerState(fp); st != "open" {
+		t.Fatalf("failed probe should re-open, got %s", st)
+	}
+	// Doubled backoff: 100ms was not enough to half-open again.
+	now = now.Add(150 * time.Millisecond)
+	res, _ = s.Do(context.Background(), task)
+	if !errors.Is(res.Err, ErrCircuitOpen) {
+		t.Fatalf("breaker should still be open under doubled backoff: %+v", res)
+	}
+
+	// After the doubled backoff a clean probe closes the breaker.
+	now = now.Add(200 * time.Millisecond)
+	res, err = s.Do(context.Background(), task)
+	if err != nil || res.Degraded || !res.Independent {
+		t.Fatalf("recovery probe: %v %+v", err, res)
+	}
+	if st := s.BreakerState(fp); st != "closed" {
+		t.Fatalf("after clean probe want closed, got %s", st)
+	}
+	// And subsequent traffic flows normally.
+	res, err = s.Do(context.Background(), task)
+	if err != nil || !res.Independent {
+		t.Fatalf("after recovery: %v %+v", err, res)
+	}
+	if s.Stats().Completed <= completedBefore {
+		t.Fatal("post-recovery requests should reach the pool")
+	}
+	if s.Stats().BreakerTrips != 2 {
+		t.Fatalf("stats: %+v", s.Stats())
+	}
+}
+
+func TestBreakerIsPerSchema(t *testing.T) {
+	s := New(Config{Workers: 1, Breaker: BreakerConfig{Threshold: 1, Backoff: time.Hour}})
+	defer s.Close()
+
+	bib := mustTask(t, bibSchema, "//title", "delete //price")
+	other := mustTask(t, "doc <- a*\na <- #PCDATA", "//a", "delete //a")
+	if _, err := s.Do(blowupCtx(t), bib); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.BreakerState(bib.Analyzer.D.Fingerprint()); st != "open" {
+		t.Fatalf("bib breaker: %s", st)
+	}
+	// The other schema is unaffected.
+	res, err := s.Do(context.Background(), other)
+	if err != nil || errors.Is(res.Err, ErrCircuitOpen) {
+		t.Fatalf("other schema tripped too: %v %+v", err, res)
+	}
+}
+
+func TestConservativeVerdictIsSound(t *testing.T) {
+	// The breaker-served verdict must never claim independence, even
+	// for a pair that IS independent — conservatism costs precision,
+	// never soundness.
+	res := conservative("x", ErrCircuitOpen)
+	if res.Independent {
+		t.Fatal("conservative verdict claims independence")
+	}
+	if !res.Degraded || res.Method != core.MethodConservative {
+		t.Fatalf("conservative shape: %+v", res)
+	}
+}
+
+func TestSubdivideLimits(t *testing.T) {
+	l := guard.Limits{MaxNodes: 100, MaxChains: guard.NoLimit}.Subdivide(8)
+	if l.MaxNodes != 12 {
+		t.Fatalf("MaxNodes: %d", l.MaxNodes)
+	}
+	if l.MaxChains != guard.NoLimit {
+		t.Fatalf("NoLimit must survive subdivision: %d", l.MaxChains)
+	}
+	if l.MaxK != guard.DefaultMaxK || l.MaxParseDepth != guard.DefaultMaxParseDepth {
+		t.Fatalf("structural bounds must not be divided: %+v", l)
+	}
+	one := guard.Limits{MaxNodes: 3}.Subdivide(100)
+	if one.MaxNodes != 1 {
+		t.Fatalf("share floor: %+v", one)
+	}
+}
+
+func TestSchemaFingerprintStability(t *testing.T) {
+	a, err := dtd.Parse(bibSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same declarations in <!ELEMENT> notation → same fingerprint.
+	classic := `<!ELEMENT bib (book*)>
+<!ELEMENT book (title, author*, price?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT price (#PCDATA)>`
+	b, err := dtd.Parse(classic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprints differ:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	c, err := dtd.Parse(strings.Replace(bibSchema, "price?", "price*", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different schemas must not collide")
+	}
+}

@@ -538,5 +538,6 @@ func Independence(d *dtd.DTD, q xquery.Query, u xquery.Update) Verdict {
 // analyzer checks the deadline cooperatively, aborting via guard.Abort
 // when exhausted (recover with guard.Recover or guard.Do).
 func IndependenceBudget(d *dtd.DTD, q xquery.Query, u xquery.Update, b *guard.Budget) Verdict {
+	b.Point("types.check")
 	return NewBudget(d, b).CheckIndependence(q, u)
 }

@@ -1,0 +1,188 @@
+package xqindep
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+
+	"xqindep/internal/core"
+	"xqindep/internal/server"
+)
+
+// Serving-layer sentinel errors, re-exported for callers of Pool.
+var (
+	// ErrOverloaded: the admission queue was full and the request was
+	// shed without queueing.
+	ErrOverloaded = server.ErrOverloaded
+	// ErrDraining: the pool is shutting down and no longer admits.
+	ErrDraining = server.ErrDraining
+	// ErrClosed: the pool has fully shut down.
+	ErrClosed = server.ErrClosed
+	// ErrCircuitOpen marks a conservative verdict served because the
+	// schema's circuit breaker is open; it unwraps to
+	// ErrBudgetExceeded.
+	ErrCircuitOpen = server.ErrCircuitOpen
+)
+
+// PoolOptions configures NewPool. Zero fields take defaults.
+type PoolOptions struct {
+	// Workers is the number of concurrent analyses (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (default 2×Workers);
+	// admissions beyond it are shed with ErrOverloaded.
+	QueueDepth int
+	// Limits is the pool-wide resource budget, subdivided across
+	// workers; each request runs under its share.
+	Limits Limits
+	// RequestTimeout bounds one analysis once a worker picks it up
+	// (default 5s; negative disables).
+	RequestTimeout time.Duration
+	// NoFallback disables the degradation ladder pool-wide.
+	NoFallback bool
+	// DrainTimeout bounds Close's graceful drain (default 10s).
+	DrainTimeout time.Duration
+	// BreakerThreshold is the number of consecutive budget blowups on
+	// one schema that opens its circuit breaker (default 5; negative
+	// disables breaking).
+	BreakerThreshold int
+	// BreakerBackoff is the initial open duration (default 1s); it
+	// doubles on every re-open up to BreakerMaxBackoff (default 60s),
+	// jittered by BreakerJitter (default 0.2) from BreakerSeed.
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	BreakerJitter     float64
+	BreakerSeed       int64
+}
+
+// PoolStats snapshots the pool counters.
+type PoolStats = server.Stats
+
+// Pool is a concurrent analysis service: a bounded worker pool with
+// bounded admission (load shedding instead of unbounded queueing),
+// per-schema circuit breaking keyed on Schema.Fingerprint, per-request
+// budget subdivision and panic isolation, and graceful drain. Every
+// short-circuit path — shed, breaker open, drain — either errors or
+// answers the conservative "not independent", so the soundness
+// invariant of AnalyzeContext ("independent" is a proof) carries over
+// to the serving layer unchanged.
+type Pool struct {
+	srv *server.Server
+	h   *server.Handler
+}
+
+// NewPool starts a pool with its workers running. Callers must Close
+// (or Shutdown) it to release them.
+func NewPool(o PoolOptions) *Pool {
+	srv := server.New(server.Config{
+		Workers:        o.Workers,
+		QueueDepth:     o.QueueDepth,
+		Limits:         o.Limits,
+		RequestTimeout: o.RequestTimeout,
+		NoFallback:     o.NoFallback,
+		DrainTimeout:   o.DrainTimeout,
+		Breaker: server.BreakerConfig{
+			Threshold:  o.BreakerThreshold,
+			Backoff:    o.BreakerBackoff,
+			MaxBackoff: o.BreakerMaxBackoff,
+			Jitter:     o.BreakerJitter,
+			Seed:       o.BreakerSeed,
+		},
+	})
+	return &Pool{srv: srv, h: server.NewHandler(srv)}
+}
+
+// Analyze runs one analysis through admission control and the pool,
+// synchronously; semantics match Schema.AnalyzeContext plus the
+// serving-layer outcomes (ErrOverloaded, ErrDraining, and conservative
+// breaker verdicts carrying ErrCircuitOpen in the report's Err).
+func (p *Pool) Analyze(ctx context.Context, s *Schema, q *Query, u *Update, m Method, opts Options) (Report, error) {
+	r, err := p.srv.Do(ctx, server.Task{
+		Analyzer:   s.a,
+		Query:      q.ast,
+		Update:     u.ast,
+		Method:     m,
+		Limits:     opts.Limits,
+		NoFallback: opts.NoFallback,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	return reportFromResult(r), nil
+}
+
+// Accepting reports whether the pool still admits work.
+func (p *Pool) Accepting() bool { return p.srv.Accepting() }
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats { return p.srv.Stats() }
+
+// BreakerState reports the schema's circuit-breaker state: "closed",
+// "open" or "half-open".
+func (p *Pool) BreakerState(s *Schema) string {
+	return p.srv.BreakerState(s.Fingerprint())
+}
+
+// Handler returns the pool's HTTP front end: POST /analyze,
+// GET /healthz, /readyz and /statz (see cmd/xqindepd).
+func (p *Pool) Handler() http.Handler { return p.h }
+
+// RunBatch runs the stdin line protocol over the pool: one analyze
+// request JSON object per input line, one response object per output
+// line. Requests without a schema inherit defaultSchema.
+func (p *Pool) RunBatch(ctx context.Context, r io.Reader, w io.Writer, defaultSchema string) error {
+	return server.RunBatch(ctx, p.h, r, w, defaultSchema)
+}
+
+// Shutdown gracefully drains the pool: admission stops immediately,
+// in-flight work finishes until ctx expires, then is hard-cancelled.
+// The pool is fully stopped when Shutdown returns.
+func (p *Pool) Shutdown(ctx context.Context) error { return p.srv.Shutdown(ctx) }
+
+// Close is Shutdown under the configured DrainTimeout.
+func (p *Pool) Close() error { return p.srv.Close() }
+
+// Serve runs the pool's HTTP API on addr until ctx is cancelled, then
+// performs a graceful drain: the listener stops, in-flight requests
+// and analyses get drainTimeout to finish, stragglers are cancelled.
+// It returns when both the HTTP server and the pool have stopped.
+func Serve(ctx context.Context, addr string, p *Pool, drainTimeout time.Duration) error {
+	if drainTimeout <= 0 {
+		drainTimeout = 10 * time.Second
+	}
+	hs := &http.Server{Addr: addr, Handler: p.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		p.Close()
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Drain the pool first so /readyz flips and queued analyses
+	// finish, then close the HTTP side.
+	perr := p.Shutdown(dctx)
+	herr := hs.Shutdown(dctx)
+	<-errc // ListenAndServe has returned http.ErrServerClosed
+	if perr != nil {
+		return perr
+	}
+	return herr
+}
+
+// reportFromResult converts an engine result to the public report.
+func reportFromResult(r core.Result) Report {
+	return Report{
+		Independent:   r.Independent,
+		Method:        r.Method,
+		K:             r.K,
+		Witnesses:     r.Witnesses,
+		Elapsed:       r.Elapsed,
+		Degraded:      r.Degraded,
+		FallbackChain: r.FallbackChain,
+		Err:           r.Err,
+	}
+}

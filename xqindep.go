@@ -81,6 +81,12 @@ func (s *Schema) IsRecursive() bool { return s.d.IsRecursive() }
 // String renders the schema in compact notation.
 func (s *Schema) String() string { return s.d.String() }
 
+// Fingerprint returns a stable content hash of the schema; two
+// schemas with the same declarations share it regardless of input
+// notation. The serving layer (Pool) keys its per-schema circuit
+// breakers on it.
+func (s *Schema) Fingerprint() string { return s.d.Fingerprint() }
+
 // DTD exposes the underlying schema to the internal packages; it is
 // the escape hatch for advanced integrations and tests.
 func (s *Schema) DTD() *dtd.DTD { return s.d }
@@ -243,16 +249,7 @@ func (s *Schema) AnalyzeContext(ctx context.Context, q *Query, u *Update, m Meth
 	if err != nil {
 		return Report{}, err
 	}
-	return Report{
-		Independent:   r.Independent,
-		Method:        r.Method,
-		K:             r.K,
-		Witnesses:     r.Witnesses,
-		Elapsed:       r.Elapsed,
-		Degraded:      r.Degraded,
-		FallbackChain: r.FallbackChain,
-		Err:           r.Err,
-	}, nil
+	return reportFromResult(r), nil
 }
 
 // Commute decides update-update commutativity: whether applying u1
