@@ -1,0 +1,23 @@
+package main
+
+import (
+	"xqindep"
+)
+
+// lintWarnings flags the degenerate pairs the paper-side analogue of a
+// dead-code warning catches: a query or update path that matches zero
+// chains under the schema is trivially independent of everything —
+// which in practice almost always means a typo in a step name, not a
+// deliberately vacuous workload.
+func lintWarnings(ev xqindep.ChainEvidence) []string {
+	var warns []string
+	if len(ev.Return) == 0 {
+		warns = append(warns,
+			"lint: query matches no chains under this schema — the INDEPENDENT verdict is vacuous; check the path for typos")
+	}
+	if len(ev.Update) == 0 {
+		warns = append(warns,
+			"lint: update matches no chains under this schema — it cannot modify any valid document; check the path for typos")
+	}
+	return warns
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"xqindep"
+)
+
+const lintSchema = "bib <- book*\nbook <- title, author*, price?\ntitle <- #PCDATA\nauthor <- #PCDATA\nprice <- #PCDATA"
+
+func evidence(t *testing.T, q, u string) xqindep.ChainEvidence {
+	t.Helper()
+	s, err := xqindep.ParseSchema(lintSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, err := xqindep.ParseQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := xqindep.ParseUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := s.ExplainChains(qa, ua)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestLintWarnsOnTypoedQuery(t *testing.T) {
+	// "titel" names no type of the schema: zero chains, vacuously
+	// independent of everything — exactly the typo -lint exists for.
+	ev := evidence(t, "//titel", "delete //price")
+	warns := lintWarnings(ev)
+	if len(warns) != 1 || !strings.Contains(warns[0], "query matches no chains") {
+		t.Fatalf("want one query warning, got %q", warns)
+	}
+}
+
+func TestLintWarnsOnTypoedUpdate(t *testing.T) {
+	ev := evidence(t, "//title", "delete //prize")
+	warns := lintWarnings(ev)
+	if len(warns) != 1 || !strings.Contains(warns[0], "update matches no chains") {
+		t.Fatalf("want one update warning, got %q", warns)
+	}
+}
+
+func TestLintQuietOnRealPair(t *testing.T) {
+	if warns := lintWarnings(evidence(t, "//title", "delete //price")); len(warns) != 0 {
+		t.Fatalf("clean pair must not warn: %q", warns)
+	}
+}

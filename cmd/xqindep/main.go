@@ -8,6 +8,10 @@
 // <!ELEMENT> notation. Methods: chains (default, the CDAG engine),
 // chains-exact, types, paths, or all.
 //
+// -lint warns when the query or the update matches zero chains under
+// the schema: such a pair is trivially independent, which almost
+// always means a typo in a path step rather than a real workload.
+//
 // Resource limits: -timeout bounds wall-clock time, -max-nodes,
 // -max-chains and -max-k bound the analysis state. When a limit is
 // hit the analysis degrades to a weaker sound method (down to the
@@ -48,6 +52,7 @@ func run() int {
 		maxChains   = flag.Int("max-chains", 0, "explicit chain-set budget (0 = default)")
 		maxK        = flag.Int("max-k", 0, "largest accepted multiplicity k (0 = default)")
 		noFallback  = flag.Bool("no-fallback", false, "fail on budget overrun instead of degrading to a weaker method")
+		lint        = flag.Bool("lint", false, "warn when the query or update matches zero chains under the schema (usually a path typo)")
 	)
 	flag.Parse()
 	if *schemaFile == "" || *updateText == "" || (*queryText == "" && *update2Text == "") {
@@ -161,17 +166,24 @@ func run() int {
 			degraded = rep.Degraded
 		}
 	}
-	if *explain {
+	if *explain || *lint {
 		ev, err := schema.ExplainChains(q, u)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xqindep:", err)
 			return 2
 		}
-		fmt.Printf("\nchains (k=%d):\n", ev.K)
-		printChains("return", ev.Return)
-		printChains("used", ev.Used)
-		printChains("element", ev.Element)
-		printChains("update", ev.Update)
+		if *explain {
+			fmt.Printf("\nchains (k=%d):\n", ev.K)
+			printChains("return", ev.Return)
+			printChains("used", ev.Used)
+			printChains("element", ev.Element)
+			printChains("update", ev.Update)
+		}
+		if *lint {
+			for _, w := range lintWarnings(ev) {
+				fmt.Fprintln(os.Stderr, "xqindep:", w)
+			}
+		}
 	}
 	if degraded {
 		return 3

@@ -1,0 +1,62 @@
+// Command xqvet is the repository's static-analysis gate. It loads
+// every package of the module and enforces the five project invariants
+// (panicdiscipline, budgetpoints, verdictsites, ctxflow, clockinject)
+// described in DESIGN.md §5.
+//
+// Usage:
+//
+//	xqvet [-dir module-root] [-checks list] [packages]
+//
+// The package arguments are accepted for familiarity ("xqvet ./...")
+// but the tool always analyzes the whole module rooted at -dir: the
+// invariants are module-global properties (call graphs, allowlists),
+// not per-package ones.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xqindep/internal/vetcheck"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("xqvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "module root to analyze")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all of "+
+		strings.Join(vetcheck.CheckNames, ",")+")")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var names []string
+	if *checks != "" {
+		for _, c := range strings.Split(*checks, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				names = append(names, c)
+			}
+		}
+	}
+	findings, err := vetcheck.Run(*dir, names, vetcheck.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "xqvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

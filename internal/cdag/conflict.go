@@ -199,6 +199,8 @@ func EngineFor(d *dtd.DTD, q xquery.Query, u xquery.Update) *Engine {
 
 // constructedTags collects element-constructor tags and rename targets
 // of the pair.
+//
+//xqvet:ignore budgetpoints structural recursion on the parsed AST, depth-bounded by guard's parser limits
 func constructedTags(q xquery.Query, u xquery.Update) map[string]bool {
 	out := make(map[string]bool)
 	var walkQ func(xquery.Query)

@@ -8,6 +8,8 @@ import (
 
 // Dot renders the set as a Graphviz digraph, with endpoints drawn as
 // double circles — the debugging view of the paper's Figure 2.
+//
+//xqvet:ignore budgetpoints diagnostic rendering of an already-budgeted CDAG; does no analysis work
 func (s *Set) Dot(name string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n", name)

@@ -3,6 +3,7 @@ package cdag
 import (
 	"fmt"
 
+	"xqindep/internal/guard"
 	"xqindep/internal/xquery"
 )
 
@@ -85,7 +86,7 @@ func (e *Engine) Query(g Env, q xquery.Query) QueryChains {
 	case xquery.Element:
 		return e.elementRule(g, n)
 	default:
-		panic(fmt.Sprintf("cdag: unknown query node %T", q))
+		panic(&guard.InternalError{Value: fmt.Sprintf("cdag: unknown query node %T", q)})
 	}
 }
 
@@ -175,6 +176,8 @@ func (e *Engine) forRule(g Env, n xquery.For) QueryChains {
 // such, and nested for-loops that continue forward. For these bodies
 // conflicts through the binding chain are subsumed by conflicts on the
 // returns.
+//
+//xqvet:ignore budgetpoints structural recursion on the parsed AST, depth-bounded by guard's parser limits
 func returnsExtendBinding(q xquery.Query, v string) bool {
 	switch n := q.(type) {
 	case xquery.Empty:
@@ -203,6 +206,8 @@ func returnsExtendBinding(q xquery.Query, v string) bool {
 // extendsVar is returnsExtendBinding for the inner variable of a
 // nested for: the body must extend y, whose bindings already extend
 // the outer binding.
+//
+//xqvet:ignore budgetpoints structural recursion on the parsed AST, depth-bounded by guard's parser limits
 func extendsVar(q xquery.Query, y string) bool { return returnsExtendBinding(q, y) }
 
 // navigational reports whether q is pure navigation from v: steps of
@@ -211,6 +216,8 @@ func extendsVar(q xquery.Query, y string) bool { return returnsExtendBinding(q, 
 // conditionals. Such bodies are processed set-wise: every used chain
 // they need is produced by the (STEPUH) productivity filter inside
 // Step, and their returns carry all remaining conflicts.
+//
+//xqvet:ignore budgetpoints structural recursion on the parsed AST, depth-bounded by guard's parser limits
 func navigational(q xquery.Query, v string) bool {
 	switch n := q.(type) {
 	case xquery.Empty:

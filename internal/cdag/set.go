@@ -388,7 +388,7 @@ func (s *Set) Step(axis xquery.Axis, test xquery.NodeTest) (*Set, map[Node]bool)
 		case xquery.FollowingSibling:
 			results = out.growSiblings(s, end, false)
 		default:
-			panic("cdag: unknown axis")
+			panic(&guard.InternalError{Value: "cdag: unknown axis"})
 		}
 		any := false
 		for _, n := range results {

@@ -3,6 +3,7 @@ package cdag
 import (
 	"fmt"
 
+	"xqindep/internal/guard"
 	"xqindep/internal/xquery"
 )
 
@@ -135,7 +136,7 @@ func (e *Engine) Update(g Env, u xquery.Update) *UpdateSet {
 		}
 		return out
 	default:
-		panic(fmt.Sprintf("cdag: unknown update node %T", u))
+		panic(&guard.InternalError{Value: fmt.Sprintf("cdag: unknown update node %T", u)})
 	}
 }
 

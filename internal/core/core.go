@@ -150,7 +150,7 @@ func check(q xquery.Query, u xquery.Update) error {
 // Analyze decides independence of the pair with the given method,
 // under default limits and with the degradation ladder enabled.
 func (a *Analyzer) Analyze(q xquery.Query, u xquery.Update, m Method) (Result, error) {
-	return a.AnalyzeContext(context.Background(), q, u, m, Options{})
+	return a.AnalyzeContext(context.Background(), q, u, m, Options{}) //xqvet:ignore ctxflow context-free convenience wrapper; cancellation-aware callers use AnalyzeContext
 }
 
 // AnalyzeContext decides independence of the pair with the given

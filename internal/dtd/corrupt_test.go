@@ -1,0 +1,64 @@
+package dtd_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xqindep/internal/core"
+	"xqindep/internal/dtd"
+	"xqindep/internal/guard"
+	"xqindep/internal/xquery"
+)
+
+// A regex op that Validate rejects at construction can still appear at
+// runtime if a future refactor mutates a content model in place. The
+// defense is layered: every switch over Op aborts with a typed
+// *guard.InternalError (never a bare-string panic), so any
+// guard.Recover boundary — guard.Do here, core's analyzeOnce in
+// production — turns the corruption into an error. A crash is never an
+// acceptable outcome.
+func TestCorruptedRegexOpSurfacesAsInternalError(t *testing.T) {
+	d, err := dtd.Parse("bib <- book*\nbook <- title\ntitle <- #PCDATA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the content model behind Validate's back, the way a
+	// future in-place rewrite bug would.
+	d.Content["book"].Op = dtd.Op(99)
+
+	// MinHeights walks the content models directly: the bad op must
+	// abort with the typed panic and be converted at the guard
+	// boundary, not escape as a raw panic.
+	gerr := guard.Do(func() { d.MinHeights() })
+	var ie *guard.InternalError
+	if !errors.As(gerr, &ie) {
+		t.Fatalf("corrupted op through MinHeights: want *guard.InternalError, got %v", gerr)
+	}
+	if ie.Value != "dtd: bad regex op" {
+		t.Fatalf("unexpected panic payload: %v", ie.Value)
+	}
+
+	// The independence analysis reads only the relations precomputed at
+	// construction time, so it completes on the corrupted schema; and
+	// if a future change does reach the bad op mid-analysis, the typed
+	// panic is absorbed by analyzeOnce's guard.Recover. Either way
+	// AnalyzeContext returns a result — never a crash.
+	q, err := xquery.ParseQuery("//title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := xquery.ParseUpdate("delete //title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewAnalyzer(d).AnalyzeContext(context.Background(), q, u, core.MethodChains, core.Options{})
+	if err != nil && !errors.As(err, &ie) {
+		t.Fatalf("corruption must surface as *guard.InternalError, got %v", err)
+	}
+	if err == nil && res.Independent && res.Method == core.MethodChains {
+		// //title vs delete //title is dependent: the precomputed
+		// relations are intact, so the verdict must still be sound.
+		t.Fatalf("unsound verdict on corrupted schema: %+v", res)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"xqindep/internal/guard"
 	"xqindep/internal/xmltree"
 )
 
@@ -389,7 +390,7 @@ func (d *DTD) computeMinHeights() map[string]int {
 		case OpPlus:
 			return mh(r.Kids[0])
 		}
-		panic("dtd: bad regex op")
+		panic(&guard.InternalError{Value: "dtd: bad regex op"})
 	}
 	for changed := true; changed; {
 		changed = false

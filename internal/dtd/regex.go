@@ -11,6 +11,8 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+
+	"xqindep/internal/guard"
 )
 
 // StringType is the reserved symbol S denoting the string (text)
@@ -326,7 +328,7 @@ func compileNFA(r *Regex) *nfa {
 	s, e := n.compile(r)
 	if s != 0 {
 		// compile always allocates the start state first
-		panic("dtd: unexpected start state")
+		panic(&guard.InternalError{Value: "dtd: unexpected start state"})
 	}
 	n.accept = e
 	return n

@@ -8,6 +8,7 @@ package eval
 import (
 	"fmt"
 
+	"xqindep/internal/guard"
 	"xqindep/internal/xmltree"
 	"xqindep/internal/xquery"
 )
@@ -140,7 +141,7 @@ func axisNodes(s *xmltree.Store, l xmltree.Loc, axis xquery.Axis) []xmltree.Loc 
 	case xquery.FollowingSibling:
 		return s.FollowingSiblings(l)
 	default:
-		panic(fmt.Sprintf("eval: unknown axis %v", axis))
+		panic(&guard.InternalError{Value: fmt.Sprintf("eval: unknown axis %v", axis)})
 	}
 }
 

@@ -37,7 +37,7 @@ var (
 
 // chainVerdict runs the CDAG analysis under the package budget.
 func chainVerdict(d *dtd.DTD, q xquery.Query, u xquery.Update) cdag.Verdict {
-	ctx := context.Background()
+	ctx := context.Background() //xqvet:ignore ctxflow experiments run standalone off package-level knobs; there is no caller context
 	if AnalysisTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, AnalysisTimeout)

@@ -109,6 +109,14 @@ type Fault struct {
 // Schedule is a deterministic set of armed faults shared by every
 // analysis under one context. It is safe for concurrent use.
 type Schedule struct {
+	// OnFire, when non-nil, is invoked each time an armed fault fires,
+	// before the injection takes effect — in particular before a
+	// KindStall blocks. Harnesses use it as a synchronization point
+	// ("the worker is now wedged") instead of polling wall-clock
+	// deadlines. Set it before attaching the schedule to a context;
+	// it must not block.
+	OnFire func(f Fault)
+
 	mu     sync.Mutex
 	faults []Fault
 	done   []bool
@@ -200,6 +208,9 @@ func (s *Schedule) fire(ctx context.Context, point string) error {
 	s.fired = append(s.fired, fmt.Sprintf("%s/%s@%d", f.Point, f.Kind, hit))
 	s.mu.Unlock()
 
+	if s.OnFire != nil {
+		s.OnFire(f)
+	}
 	switch f.Kind {
 	case KindBudget:
 		return &guard.LimitError{Resource: "fault:" + point}
@@ -209,6 +220,7 @@ func (s *Schedule) fire(ctx context.Context, point string) error {
 		<-ctx.Done()
 		return ctx.Err()
 	default:
+		//xqvet:ignore panicdiscipline KindPanic deliberately injects a raw panic so harnesses can prove the guard boundary converts it
 		panic(PanicValue{Point: point})
 	}
 }

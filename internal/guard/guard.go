@@ -370,15 +370,46 @@ func Abort(err error) { panic(&abort{err: err}) }
 //	defer guard.Recover(&err)
 //
 // it translates an Abort back into its error and converts any other
-// panic into a *InternalError with the captured stack. With no panic
-// in flight it does nothing.
+// panic into a *InternalError with the captured stack. A panic that
+// already carries a *InternalError — the typed form every defensive
+// "impossible case" panic in the analyzer packages uses — passes
+// through unwrapped. With no panic in flight it does nothing.
 func Recover(errp *error) {
 	switch r := recover().(type) {
 	case nil:
 	case *abort:
 		*errp = r.err
+	case *InternalError:
+		if r.Stack == nil {
+			r.Stack = debug.Stack()
+		}
+		*errp = r
 	default:
 		*errp = &InternalError{Value: r, Stack: debug.Stack()}
+	}
+}
+
+// OnPanic is the goroutine entry boundary: deferred first in a
+// goroutine body,
+//
+//	defer guard.OnPanic(func(e *guard.InternalError) { ... })
+//
+// it stops an escaping panic from killing the process, handing the
+// translated *InternalError to f instead. A budget Abort is
+// re-panicked: aborts belong to a Recover boundary inside the
+// analysis, and swallowing one here would hide a missing boundary.
+func OnPanic(f func(*InternalError)) {
+	switch r := recover().(type) {
+	case nil:
+	case *abort:
+		panic(r)
+	case *InternalError:
+		if r.Stack == nil {
+			r.Stack = debug.Stack()
+		}
+		f(r)
+	default:
+		f(&InternalError{Value: r, Stack: debug.Stack()})
 	}
 }
 

@@ -90,6 +90,8 @@ func (in *Inferrer) Reads(g Env, u xquery.Update) UpdateReads {
 }
 
 // isDeleteOnly reports whether u performs only deletions.
+//
+//xqvet:ignore budgetpoints structural recursion on the parsed AST, depth-bounded by guard's parser limits
 func isDeleteOnly(u xquery.Update) bool {
 	switch n := u.(type) {
 	case xquery.UEmpty, xquery.Delete:

@@ -10,11 +10,14 @@
 package infer
 
 import (
+	"xqindep/internal/guard"
 	"xqindep/internal/xquery"
 )
 
 // FQuery computes F(a, q) of Table 3: the frequency of tag a in the
 // query, where node() and * steps stand for any label.
+//
+//xqvet:ignore budgetpoints structural recursion on the parsed AST, depth-bounded by guard's parser limits
 func FQuery(a string, q xquery.Query) int {
 	switch n := q.(type) {
 	case xquery.Empty, xquery.StringLit, xquery.Var:
@@ -42,7 +45,7 @@ func FQuery(a string, q xquery.Query) int {
 		}
 		return f
 	default:
-		panic("infer: unknown query node")
+		panic(&guard.InternalError{Value: "infer: unknown query node"})
 	}
 }
 
@@ -61,6 +64,8 @@ func testCountsFor(a string, t xquery.NodeTest) bool {
 
 // RQuery computes R(q) of Table 3: the number of recursive-axis
 // steps, summed across iteration and maximised across alternatives.
+//
+//xqvet:ignore budgetpoints structural recursion on the parsed AST, depth-bounded by guard's parser limits
 func RQuery(q xquery.Query) int {
 	switch n := q.(type) {
 	case xquery.Empty, xquery.StringLit, xquery.Var:
@@ -81,7 +86,7 @@ func RQuery(q xquery.Query) int {
 	case xquery.Element:
 		return RQuery(n.Content)
 	default:
-		panic("infer: unknown query node")
+		panic(&guard.InternalError{Value: "infer: unknown query node"})
 	}
 }
 
@@ -94,6 +99,8 @@ func maxInt(a, b int) int {
 
 // queryTags collects every tag syntactically relevant to F: tag tests
 // and constructed-element tags.
+//
+//xqvet:ignore budgetpoints structural recursion on the parsed AST, depth-bounded by guard's parser limits
 func queryTags(q xquery.Query, out map[string]bool) {
 	switch n := q.(type) {
 	case xquery.Step:
@@ -121,6 +128,7 @@ func queryTags(q xquery.Query, out map[string]bool) {
 	}
 }
 
+//xqvet:ignore budgetpoints structural recursion on the parsed AST, depth-bounded by guard's parser limits
 func updateTags(u xquery.Update, out map[string]bool) {
 	switch n := u.(type) {
 	case xquery.USeq:
@@ -174,6 +182,8 @@ func KQuery(q xquery.Query) int {
 }
 
 // FUpdate computes F(a, u) per Table 3.
+//
+//xqvet:ignore budgetpoints structural recursion on the parsed AST, depth-bounded by guard's parser limits
 func FUpdate(a string, u xquery.Update) int {
 	switch n := u.(type) {
 	case xquery.UEmpty:
@@ -199,11 +209,13 @@ func FUpdate(a string, u xquery.Update) int {
 		}
 		return f
 	default:
-		panic("infer: unknown update node")
+		panic(&guard.InternalError{Value: "infer: unknown update node"})
 	}
 }
 
 // RUpdate computes R(u) per Table 3.
+//
+//xqvet:ignore budgetpoints structural recursion on the parsed AST, depth-bounded by guard's parser limits
 func RUpdate(u xquery.Update) int {
 	switch n := u.(type) {
 	case xquery.UEmpty:
@@ -225,7 +237,7 @@ func RUpdate(u xquery.Update) int {
 	case xquery.Rename:
 		return RQuery(n.Target)
 	default:
-		panic("infer: unknown update node")
+		panic(&guard.InternalError{Value: "infer: unknown update node"})
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"xqindep/internal/chain"
 	"xqindep/internal/dtd"
+	"xqindep/internal/guard"
 	"xqindep/internal/xquery"
 )
 
@@ -92,7 +93,7 @@ func (in *Inferrer) Query(g Env, q xquery.Query) QueryChains {
 	case xquery.Element:
 		return in.elementRule(g, n)
 	default:
-		panic(fmt.Sprintf("infer: unknown query node %T", q))
+		panic(&guard.InternalError{Value: fmt.Sprintf("infer: unknown query node %T", q)})
 	}
 }
 

@@ -141,7 +141,7 @@ func (in *Inferrer) AC(c chain.Chain, axis xquery.Axis) []chain.Chain {
 	case xquery.PrecedingSibling:
 		return in.siblingChains(c, true)
 	default:
-		panic("infer: unknown axis")
+		panic(&guard.InternalError{Value: "infer: unknown axis"})
 	}
 }
 

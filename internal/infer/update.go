@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"xqindep/internal/chain"
+	"xqindep/internal/guard"
 	"xqindep/internal/xquery"
 )
 
@@ -171,7 +172,7 @@ func (in *Inferrer) Update(g Env, u xquery.Update) *UpdateSet {
 		}
 		return out
 	default:
-		panic(fmt.Sprintf("infer: unknown update node %T", u))
+		panic(&guard.InternalError{Value: fmt.Sprintf("infer: unknown update node %T", u)})
 	}
 }
 

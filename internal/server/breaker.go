@@ -114,7 +114,7 @@ func newBreakerSet(cfg BreakerConfig) *breakerSet {
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 		m:   make(map[string]*breaker),
-		now: time.Now,
+		now: time.Now, //xqvet:ignore clockinject injectable-clock default; tests and chaos harnesses replace breakerSet.now
 	}
 }
 

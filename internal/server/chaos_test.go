@@ -146,20 +146,36 @@ func TestChaosRandomFaultSchedules(t *testing.T) {
 	t.Logf("chaos: %d runs, %d requests, %d breaker trips", runs, totalReqs, totalTrips)
 
 	// Goroutine-leak check: after every server has shut down, the
-	// count must settle back to (about) the starting level.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if g := runtime.NumGoroutine(); g <= before+4 {
-			break
-		}
-		if time.Now().After(deadline) {
+	// count must settle back to (about) the starting level. Timer
+	// channels bound the wait — no wall-clock arithmetic.
+	timeout := time.After(5 * time.Second)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for runtime.NumGoroutine() > before+4 {
+		select {
+		case <-tick.C:
+		case <-timeout:
 			buf := make([]byte, 1<<20)
 			n := runtime.Stack(buf, true)
 			t.Fatalf("goroutine leak: %d before, %d after\n%s",
 				before, runtime.NumGoroutine(), buf[:n])
 		}
-		runtime.Gosched()
-		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// mustDrain runs drain and returns its error, failing the test if it
+// does not terminate within limit. The bound is a channel select, not
+// a wall-clock measurement.
+func mustDrain(t *testing.T, run int, limit time.Duration, drain func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- drain() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(limit):
+		t.Fatalf("run %d: drain did not terminate within %v", run, limit)
+		return nil
 	}
 }
 
@@ -225,22 +241,14 @@ func chaosRun(t *testing.T, rng *rand.Rand, corpus []chaosPair, run int) (uint64
 	earlyDrain := rng.Intn(4) == 0
 
 	if earlyDrain {
-		start := time.Now()
-		if err := s.Close(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		if err := mustDrain(t, run, cfg.DrainTimeout+2*time.Second, s.Close); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			t.Errorf("run %d: drain error: %v", run, err)
-		}
-		if d := time.Since(start); d > cfg.DrainTimeout+2*time.Second {
-			t.Errorf("run %d: drain took %v (deadline %v)", run, d, cfg.DrainTimeout)
 		}
 	}
 	wg.Wait()
 	if !earlyDrain {
-		start := time.Now()
-		if err := s.Close(); err != nil {
+		if err := mustDrain(t, run, cfg.DrainTimeout+2*time.Second, s.Close); err != nil {
 			t.Errorf("run %d: clean drain error: %v", run, err)
-		}
-		if d := time.Since(start); d > cfg.DrainTimeout+2*time.Second {
-			t.Errorf("run %d: drain took %v", run, d)
 		}
 	}
 	for _, c := range cancels {

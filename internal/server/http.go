@@ -110,11 +110,20 @@ type Handler struct {
 	srv     *Server
 	schemas *schemaCache
 	mux     *http.ServeMux
+	// now is the injectable clock behind the latency telemetry
+	// (ElapsedUS); verdicts never depend on it, but injecting it keeps
+	// every wall-clock read in the serving layer test-controllable.
+	now func() time.Time
 }
 
 // NewHandler builds the HTTP front end of a server.
 func NewHandler(s *Server) *Handler {
-	h := &Handler{srv: s, schemas: newSchemaCache(0), mux: http.NewServeMux()}
+	h := &Handler{
+		srv:     s,
+		schemas: newSchemaCache(0),
+		mux:     http.NewServeMux(),
+		now:     time.Now, //xqvet:ignore clockinject injectable-clock default; tests and chaos harnesses replace Handler.now
+	}
 	h.mux.HandleFunc("POST /analyze", h.handleAnalyze)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
 	h.mux.HandleFunc("GET /readyz", h.handleReadyz)
@@ -168,11 +177,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // response and the HTTP status it maps to. It is the shared core of
 // the HTTP endpoint and the batch line protocol.
 func (h *Handler) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, int) {
-	start := time.Now()
+	start := h.now()
 	fail := func(code int, format string, args ...any) (AnalyzeResponse, int) {
 		return AnalyzeResponse{
 			Error:     fmt.Sprintf(format, args...),
-			ElapsedUS: time.Since(start).Microseconds(),
+			ElapsedUS: h.now().Sub(start).Microseconds(),
 		}, code
 	}
 	if req.Schema == "" {
@@ -241,7 +250,7 @@ func (h *Handler) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeRespo
 		K:           res.K,
 		Degraded:    res.Degraded,
 		Witnesses:   res.Witnesses,
-		ElapsedUS:   time.Since(start).Microseconds(),
+		ElapsedUS:   h.now().Sub(start).Microseconds(),
 		CircuitOpen: errors.Is(res.Err, ErrCircuitOpen),
 		Schema:      a.D.Fingerprint(),
 	}

@@ -178,8 +178,8 @@ type Server struct {
 	// queue under the read lock, Shutdown flips the state under the
 	// write lock, so after Shutdown observes the state change no new
 	// push can race the queue close.
-	admitMu sync.RWMutex
-	state   atomic.Int32
+	admitMu  sync.RWMutex
+	state    atomic.Int32
 	baseCtx  context.Context
 	cancel   context.CancelFunc
 	workers  sync.WaitGroup
@@ -198,6 +198,7 @@ type Server struct {
 // New starts a server with cfg's workers running.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	//xqvet:ignore ctxflow server root context: request contexts arrive via Do, teardown cancels this one
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
@@ -210,7 +211,15 @@ func New(cfg Config) *Server {
 	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+		go func() {
+			defer s.workers.Done()
+			// Goroutine boundary: runJob isolates per-job panics, so
+			// anything reaching here is a bug in the loop itself; eat
+			// it rather than crash the process (the lost worker is
+			// visible in the panic counter).
+			defer guard.OnPanic(func(*guard.InternalError) { s.panics.Add(1) })
+			s.worker()
+		}()
 	}
 	return s
 }
@@ -331,10 +340,19 @@ func (s *Server) admit(ctx context.Context, t Task, fp string) (*job, error) {
 }
 
 func (s *Server) worker() {
-	defer s.workers.Done()
 	for j := range s.queue {
-		s.process(j)
+		s.runJob(j)
 	}
+}
+
+// runJob is the per-job panic boundary of the serving glue: the engine
+// converts its own panics to errors inside analyze, so a panic landing
+// here is a server bug — confine it to this one job and keep the
+// worker alive. The job's done channel is closed by process's deferred
+// close even while unwinding, so the caller never hangs.
+func (s *Server) runJob(j *job) {
+	defer guard.OnPanic(func(*guard.InternalError) { s.panics.Add(1) })
+	s.process(j)
 }
 
 // clamp bounds the per-request limits by the per-worker share: a
@@ -440,8 +458,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.admitMu.Unlock()
 		drained := make(chan struct{})
 		go func() {
+			// drained must close even if Wait panics (which would mean
+			// WaitGroup misuse — a server bug): Shutdown would
+			// otherwise hang on a channel nobody can close.
+			defer close(drained)
+			defer guard.OnPanic(func(*guard.InternalError) { s.panics.Add(1) })
 			s.inflight.Wait()
-			close(drained)
 		}()
 		select {
 		case <-drained:
@@ -462,6 +484,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Close shuts down with the configured DrainTimeout.
 func (s *Server) Close() error {
+	//xqvet:ignore ctxflow Close is the no-caller-context teardown API; its deadline is DrainTimeout
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	return s.Shutdown(ctx)

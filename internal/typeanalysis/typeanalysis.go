@@ -180,7 +180,7 @@ func (a *Analyzer) Query(g Env, q xquery.Query) QueryTypes {
 		acc.addAll(a.closure(inner.Returned))
 		return QueryTypes{Returned: TypeSet{}, Accessed: acc, Constructs: true}
 	default:
-		panic(fmt.Sprintf("typeanalysis: unknown query node %T", q))
+		panic(&guard.InternalError{Value: fmt.Sprintf("typeanalysis: unknown query node %T", q)})
 	}
 }
 
@@ -339,7 +339,7 @@ func (a *Analyzer) stepTypes(ctx TypeSet, axis xquery.Axis, test xquery.NodeTest
 			}
 		}
 	default:
-		panic("typeanalysis: unknown axis")
+		panic(&guard.InternalError{Value: "typeanalysis: unknown axis"})
 	}
 	// Node test.
 	out := TypeSet{}
@@ -438,7 +438,7 @@ func (a *Analyzer) Update(g Env, u xquery.Update) UpdateTypes {
 		}
 		return UpdateTypes{Impacted: out}
 	default:
-		panic(fmt.Sprintf("typeanalysis: unknown update node %T", u))
+		panic(&guard.InternalError{Value: fmt.Sprintf("typeanalysis: unknown update node %T", u)})
 	}
 }
 

@@ -1,0 +1,217 @@
+package vetcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callGraph is the intra-module call graph at FuncDecl granularity.
+// Function literals are inlined into the declaration that lexically
+// contains them: a call made by a closure is an edge from the
+// enclosing declaration, and calling a local variable that was
+// assigned a literal in the same declaration is a self-edge — which is
+// exactly how the engines spell recursive closures (e.g. the `mh`
+// fixpoint walker in dtd.computeMinHeights).
+type callGraph struct {
+	nodes []*cgNode
+	byObj map[types.Object]*cgNode
+}
+
+type cgNode struct {
+	obj  types.Object
+	decl *ast.FuncDecl
+	pkg  *Package
+	out  map[*cgNode]bool
+	// budget is true when the body (closures included) calls a
+	// (*guard.Budget) method directly.
+	budget bool
+
+	// Tarjan bookkeeping.
+	index, lowlink int
+	onStack        bool
+	scc            int
+}
+
+var budgetMethods = set("Tick", "Check", "AddNodes", "AddChains", "CheckK", "Point")
+
+// buildCallGraph constructs the graph for the whole module.
+func buildCallGraph(p *pass) *callGraph {
+	g := &callGraph{byObj: map[types.Object]*cgNode{}}
+	for obj, decl := range p.declOf {
+		n := &cgNode{obj: obj, decl: decl, out: map[*cgNode]bool{}, index: -1}
+		g.byObj[obj] = n
+		g.nodes = append(g.nodes, n)
+	}
+	for _, pkg := range p.mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pkg.Info.Defs[fd.Name]
+				n := g.byObj[obj]
+				if n == nil {
+					continue
+				}
+				n.pkg = pkg
+				addCalls(g, n, pkg, fd)
+			}
+		}
+	}
+	return g
+}
+
+// addCalls records every call made inside decl (closures inlined).
+func addCalls(g *callGraph, n *cgNode, pkg *Package, decl *ast.FuncDecl) {
+	// Local variables assigned a function literal anywhere in this
+	// declaration: calling one re-enters code of this declaration, so
+	// it is modeled as a self-edge. This over-approximates (the var
+	// could be reassigned a non-recursive literal) in exactly the
+	// conservative direction budgetpoints needs.
+	litVars := map[types.Object]bool{}
+	ast.Inspect(decl, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if _, isLit := rhs.(*ast.FuncLit); !isLit || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					litVars[obj] = true
+				} else if obj := pkg.Info.Uses[id]; obj != nil {
+					litVars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(decl, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			obj := pkg.Info.Uses[fun]
+			if obj == nil {
+				return true
+			}
+			if litVars[obj] {
+				n.out[n] = true // recursive closure
+				return true
+			}
+			if callee := g.byObj[obj]; callee != nil {
+				n.out[callee] = true
+			}
+		case *ast.SelectorExpr:
+			fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if isBudgetMethod(fn) {
+				n.budget = true
+				return true
+			}
+			if callee := g.byObj[fn]; callee != nil {
+				n.out[callee] = true
+			}
+		}
+		return true
+	})
+}
+
+// isBudgetMethod reports whether fn is one of the budget-consuming
+// methods of guard.Budget.
+func isBudgetMethod(fn *types.Func) bool {
+	if !budgetMethods[fn.Name()] || !isGuardPkg(fn.Pkg()) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Budget"
+}
+
+// sccs runs Tarjan's algorithm, assigning scc ids; nodes sharing an id
+// are mutually recursive (ids are also assigned to singletons).
+func (g *callGraph) sccs() {
+	index, sccID := 0, 0
+	var stack []*cgNode
+	var strongconnect func(v *cgNode)
+	strongconnect = func(v *cgNode) {
+		v.index, v.lowlink = index, index
+		index++
+		stack = append(stack, v)
+		v.onStack = true
+		for w := range v.out {
+			if w.index < 0 {
+				strongconnect(w)
+				v.lowlink = min(v.lowlink, w.lowlink)
+			} else if w.onStack {
+				v.lowlink = min(v.lowlink, w.index)
+			}
+		}
+		if v.lowlink == v.index {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				w.onStack = false
+				w.scc = sccID
+				if w == v {
+					break
+				}
+			}
+			sccID++
+		}
+	}
+	for _, v := range g.nodes {
+		if v.index < 0 {
+			strongconnect(v)
+		}
+	}
+}
+
+// recursive reports whether n participates in a cycle: a self-edge or
+// a non-trivial SCC.
+func (g *callGraph) recursive(n *cgNode) bool {
+	if n.out[n] {
+		return true
+	}
+	for _, m := range g.nodes {
+		if m != n && m.scc == n.scc {
+			return true
+		}
+	}
+	return false
+}
+
+// reachesBudget reports whether any function reachable from n
+// (n included) calls a budget method.
+func (g *callGraph) reachesBudget(n *cgNode) bool {
+	seen := map[*cgNode]bool{}
+	var dfs func(v *cgNode) bool
+	dfs = func(v *cgNode) bool {
+		if v.budget {
+			return true
+		}
+		seen[v] = true
+		for w := range v.out {
+			if !seen[w] && dfs(w) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(n)
+}

@@ -1,0 +1,72 @@
+package vetcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkClockInject keeps the chaos harness deterministic: a fixed
+// CHAOS_SEED must reproduce a run bit-for-bit, so the serving and
+// fault-injection layers may not read ambient time or the global
+// math/rand source — the injectable clock (breakerSet.now,
+// Handler.now) and per-schedule seeded RNGs exist precisely for this.
+// Any selector mention (call or value) of the banned identifiers in
+// non-test code of the configured packages is a finding; the one legal
+// use, installing time.Now as a default behind the injection seam, is
+// annotated.
+func checkClockInject(p *pass) {
+	for _, pkg := range p.mod.Pkgs {
+		if !p.cfg.ClockPackages[pkg.Rel] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				switch pn.Imported().Path() {
+				case "time":
+					if bannedTime[sel.Sel.Name] {
+						p.report("clockinject", sel.Pos(),
+							"ambient time.%s in %s breaks chaos reproducibility; use the injected clock", sel.Sel.Name, pkg.Rel)
+					}
+				case "math/rand":
+					if isRandGlobal(pkg, sel) {
+						p.report("clockinject", sel.Pos(),
+							"global math/rand source in %s breaks chaos reproducibility; use a seeded *rand.Rand", pkg.Rel)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// bannedTime lists the wall-clock-reading and sleeping identifiers;
+// types and constants (time.Time, time.Duration, time.Millisecond)
+// stay usable.
+var bannedTime = set("Now", "Sleep", "Since", "Until", "After", "AfterFunc", "Tick")
+
+// isRandGlobal reports a package-level math/rand function that draws
+// from the shared global source. Constructors for explicitly seeded
+// generators remain legal.
+func isRandGlobal(pkg *Package, sel *ast.SelectorExpr) bool {
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf":
+		return false
+	}
+	return true
+}

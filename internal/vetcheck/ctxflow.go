@@ -1,0 +1,112 @@
+package vetcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkCtxFlow keeps cancellation wired end to end. Budget deadlines,
+// drain, and the stall fault all ride on context cancellation, so a
+// context that is accepted in the wrong position (easy to forget to
+// thread) or minted fresh mid-stack (silently detaching the callee
+// from its caller's deadline) re-opens the unbounded-analysis hole PR 1
+// closed. Two rules, module-wide in non-test code:
+//
+//  1. A context.Context parameter must come first.
+//  2. context.Background()/context.TODO() are banned outside package
+//     main, except for the nil-normalization idiom (an enclosing if
+//     that compares against nil) and explicitly annotated detach
+//     points (//xqvet:ignore ctxflow <why this must outlive the
+//     caller>).
+func checkCtxFlow(p *pass) {
+	for _, pkg := range p.mod.Pkgs {
+		isMain := pkg.Name == "main"
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					checkCtxParam(p, pkg, fd.Type)
+				}
+			}
+			walkWithStack(f, func(n ast.Node, stack []ast.Node) {
+				switch node := n.(type) {
+				case *ast.FuncLit:
+					checkCtxParam(p, pkg, node.Type)
+				case *ast.CallExpr:
+					if isMain || !isCtxFresh(pkg, node) {
+						return
+					}
+					if underNilGuard(stack) {
+						return
+					}
+					p.report("ctxflow", node.Pos(),
+						"context.Background()/TODO() outside main detaches from the caller's deadline; propagate the caller's ctx or annotate the detach point")
+				}
+			})
+		}
+	}
+}
+
+// checkCtxParam reports a context.Context parameter in non-first
+// position.
+func checkCtxParam(p *pass, pkg *Package, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtxType(pkg, field.Type) && pos > 0 {
+			p.report("ctxflow", field.Pos(), "context.Context must be the first parameter")
+		}
+		pos += n
+	}
+}
+
+func isCtxType(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isCtxFresh reports a call to context.Background or context.TODO.
+func isCtxFresh(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+// underNilGuard recognizes the nil-normalization idiom: the call sits
+// (possibly via else-branches) under an if whose condition compares
+// something against nil, as in `if ctx == nil { ctx = context.Background() }`.
+func underNilGuard(stack []ast.Node) bool {
+	for _, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		hasNilCmp := false
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok && id.Name == "nil" {
+				hasNilCmp = true
+			}
+			return !hasNilCmp
+		})
+		if hasNilCmp {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,122 @@
+package vetcheck
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden harness: fixture files carry `// want "regex"` comments;
+// every finding must match a want on its own line (or, for findings
+// the comment layout cannot reach, the line directly below the want),
+// and every want must be consumed by exactly one finding.
+
+type want struct {
+	file     string
+	line     int
+	re       *regexp.Regexp
+	raw      string
+	consumed bool
+}
+
+var wantRe = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func collectWants(t *testing.T, mod *Module) []*want {
+	t.Helper()
+	var out []*want
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					for _, q := range quotedRe.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regex %q: %v", pos, pat, err)
+						}
+						out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestGoldenFixtures(t *testing.T) {
+	mod, err := Load("testdata/src/fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunModule(mod, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, mod)
+	if len(wants) == 0 {
+		t.Fatal("no want comments found in fixtures")
+	}
+
+	for _, f := range findings {
+		text := fmt.Sprintf("[%s] %s", f.Check, f.Msg)
+		matched := false
+		for _, w := range wants {
+			if w.consumed || w.file != f.Pos.Filename {
+				continue
+			}
+			if (w.line == f.Pos.Line || w.line == f.Pos.Line-1) && w.re.MatchString(text) {
+				w.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.consumed {
+			t.Errorf("%s:%d: want %q matched no finding", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// A partial -checks run must not misjudge pragmas belonging to the
+// checks it skipped: the fixture's budgetpoints pragma is stale under
+// a full run but invisible to a clockinject-only run.
+func TestPartialRunSkipsForeignPragmas(t *testing.T) {
+	mod, err := Load("testdata/src/fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunModule(mod, []string{"clockinject"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Check != "clockinject" && f.Check != "pragma" {
+			t.Errorf("disabled check fired: %s", f)
+		}
+		if strings.Contains(f.Msg, "stale") && strings.Contains(f.Msg, "budgetpoints") {
+			t.Errorf("stale verdict on a pragma for a disabled check: %s", f)
+		}
+	}
+}
+
+func TestUnknownCheckRejected(t *testing.T) {
+	mod := &Module{}
+	if _, err := RunModule(mod, []string{"nosuchcheck"}, DefaultConfig()); err == nil {
+		t.Fatal("unknown check name must be a load-time error")
+	}
+}

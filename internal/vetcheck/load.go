@@ -1,0 +1,149 @@
+package vetcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Rel is the module-relative import path: "" for the module root,
+	// "internal/cdag" for xqindep/internal/cdag. Checks key their
+	// scoping rules on Rel so the same configuration applies to the
+	// real module and to testdata fixture modules alike.
+	Rel   string
+	Path  string
+	Name  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Module is the loaded module: every package, sharing one FileSet.
+type Module struct {
+	Path string // module path from go.mod
+	Dir  string
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load type-checks every package of the module rooted at dir using
+// only the standard library: `go list -e -export -deps -json ./...`
+// supplies compiled export data for all dependencies, the module's own
+// packages are parsed from source (with comments, so pragmas work) and
+// checked against that export data. Test files are excluded by
+// construction — GoFiles never contains them — which is what gives
+// every check its "non-test code" scope for free.
+func Load(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-json", "./...")
+	cmd.Dir = abs
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("vetcheck: go list in %s: %v\n%s", abs, err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var mods []listPkg
+	modPath := ""
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("vetcheck: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("vetcheck: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Module != nil && modPath == "" {
+			modPath = p.Module.Path
+		}
+		mods = append(mods, p)
+	}
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("vetcheck: no packages found under %s", abs)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	m := &Module{Path: modPath, Dir: abs, Fset: fset}
+	// Intra-module imports must resolve to export data too; go list
+	// -export compiles them, so the lookup above covers both cases.
+	for _, p := range mods {
+		var files []*ast.File
+		for _, g := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, g), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("vetcheck: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Types:      map[ast.Expr]types.TypeAndValue{},
+		}
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("vetcheck: type-checking %s: %v", p.ImportPath, err)
+		}
+		rel := strings.TrimPrefix(p.ImportPath, modPath)
+		rel = strings.TrimPrefix(rel, "/")
+		m.Pkgs = append(m.Pkgs, &Package{
+			Rel:   rel,
+			Path:  p.ImportPath,
+			Name:  tp.Name(),
+			Files: files,
+			Pkg:   tp,
+			Info:  info,
+		})
+	}
+	return m, nil
+}

@@ -1,0 +1,124 @@
+package vetcheck
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// checkPanicDiscipline enforces the three panic rules that make the
+// guard recovery boundary airtight (DESIGN.md §5):
+//
+//  1. In engine packages, panic(x) must carry *guard.InternalError —
+//     the one payload every guard boundary converts to an error — or
+//     sit inside a Must* constructor, the documented parse-or-die
+//     idiom for fixtures and examples.
+//  2. In go-recover packages (internal/server), the function started
+//     by every go statement must install a deferred recover as its
+//     first order of business; a goroutine without one can crash the
+//     whole process no matter how disciplined the engines are.
+//  3. The recover builtin is reserved to internal/guard (and package
+//     main): scattered ad-hoc recovery would silence panics the chaos
+//     harness is designed to observe and attribute.
+func checkPanicDiscipline(p *pass) {
+	for _, pkg := range p.mod.Pkgs {
+		engine := p.cfg.EnginePackages[pkg.Rel]
+		goRec := p.cfg.GoRecoverPackages[pkg.Rel]
+		guardPkg := isGuardPkg(pkg.Pkg)
+		isMain := pkg.Name == "main"
+		for _, f := range pkg.Files {
+			walkWithDecl(f, func(n ast.Node, decl *ast.FuncDecl) {
+				switch node := n.(type) {
+				case *ast.CallExpr:
+					if engine && isBuiltin(pkg.Info, node.Fun, "panic") {
+						checkPanicCall(p, pkg, node, decl)
+					}
+					if !guardPkg && !isMain && isBuiltin(pkg.Info, node.Fun, "recover") {
+						p.report("panicdiscipline", node.Pos(),
+							"recover() outside internal/guard: use guard.Recover or guard.OnPanic so panics stay observable")
+					}
+				case *ast.GoStmt:
+					if goRec {
+						checkGoStmt(p, pkg, node)
+					}
+				}
+			})
+		}
+	}
+}
+
+func checkPanicCall(p *pass, pkg *Package, call *ast.CallExpr, decl *ast.FuncDecl) {
+	if decl != nil && (strings.HasPrefix(decl.Name.Name, "Must") ||
+		strings.HasPrefix(decl.Name.Name, "must")) {
+		return
+	}
+	if len(call.Args) == 1 {
+		if tv, ok := pkg.Info.Types[call.Args[0]]; ok && isGuardInternalError(tv.Type) {
+			return
+		}
+	}
+	p.report("panicdiscipline", call.Pos(),
+		"panic in engine package must carry *guard.InternalError (or be inside a Must* constructor)")
+}
+
+// checkGoStmt requires the goroutine's entry function to begin with a
+// deferred recover.
+func checkGoStmt(p *pass, pkg *Package, g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	case *ast.Ident:
+		if fd := p.declOf[pkg.Info.Uses[fun]]; fd != nil {
+			body = fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := p.declOf[pkg.Info.Uses[fun.Sel]]; fd != nil {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		p.report("panicdiscipline", g.Pos(),
+			"go statement starts a function xqvet cannot inspect; use a func literal with a deferred guard recover")
+		return
+	}
+	for _, stmt := range body.List {
+		def, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		if isRecoverer(p, pkg, def.Call) {
+			return
+		}
+	}
+	p.report("panicdiscipline", g.Pos(),
+		"goroutine has no deferred recover: defer guard.Recover/guard.OnPanic (or recover()) at the top of its body")
+}
+
+// isRecoverer reports whether the deferred call establishes a recover
+// boundary: guard.Recover / guard.OnPanic, a function literal that
+// calls the recover builtin, or a module function that does.
+func isRecoverer(p *pass, pkg *Package, call *ast.CallExpr) bool {
+	if guardCall(pkg.Info, call, "Recover", "OnPanic") {
+		return true
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return callsRecover(pkg, fun)
+	case *ast.Ident:
+		if fd := p.declOf[pkg.Info.Uses[fun]]; fd != nil {
+			return callsRecover(pkg, fd)
+		}
+	}
+	return false
+}
+
+func callsRecover(pkg *Package, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(pkg.Info, call.Fun, "recover") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,18 @@
+package vetcheck
+
+import "testing"
+
+// The gate's acceptance criterion: the repository itself is clean.
+// Every invariant the five checks encode holds module-wide, and every
+// deliberate exception carries a reasoned //xqvet:ignore — so this
+// test failing means either a real violation crept in or an ignore
+// went stale. Both demand action, not a looser gate.
+func TestRepositoryIsClean(t *testing.T) {
+	findings, err := Run("../..", nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

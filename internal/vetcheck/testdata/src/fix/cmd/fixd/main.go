@@ -1,0 +1,10 @@
+// Command fixd proves the package-main exemptions: minting the root
+// context is main's job.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,22 @@
+// Module-root fixtures: the public Report verdict and its allowlisted
+// constructor, addressed by bare name in the configuration.
+package fix
+
+// Report mirrors the real public verdict struct.
+type Report struct {
+	Independent bool
+	Method      string
+}
+
+// reportFromResult is the allowlisted root proof function.
+func reportFromResult(ok bool) Report {
+	return Report{Independent: ok, Method: "chains"}
+}
+
+func fabricateReport() Report {
+	return Report{Independent: true} // want "outside the proof-function allowlist"
+}
+
+func conservativeReport() Report {
+	return Report{Independent: false}
+}

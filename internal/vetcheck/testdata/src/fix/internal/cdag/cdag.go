@@ -1,0 +1,114 @@
+// Firing and non-firing fixtures for budgetpoints (cdag is a budget
+// package) and verdictsites (Verdict/CheckIndependence are in the
+// default allowlists).
+package cdag
+
+import "example.com/fix/internal/guard"
+
+// Verdict mirrors the real verdict struct.
+type Verdict struct {
+	Independent bool
+	K           int
+}
+
+// Engine carries the budget like the real CDAG engine.
+type Engine struct{ b *guard.Budget }
+
+// CheckIndependence is an allowlisted proof function.
+func (e *Engine) CheckIndependence() Verdict {
+	return Verdict{Independent: true, K: 1}
+}
+
+func shortcut() Verdict {
+	return Verdict{Independent: true} // want "outside the proof-function allowlist"
+}
+
+func conservative() Verdict {
+	return Verdict{Independent: false} // false is sound anywhere
+}
+
+func flip(v *Verdict, val bool) {
+	v.Independent = val // want "assigned a non-false value"
+}
+
+func clear(v *Verdict) {
+	v.Independent = false
+}
+
+// --- budgetpoints ---
+
+func metered(e *Engine, n int) int {
+	e.b.Point("cdag.metered")
+	if n == 0 {
+		return 0
+	}
+	return metered(e, n-1)
+}
+
+func unmetered(n int) int { // want "never consults the guard.Budget"
+	if n == 0 {
+		return 0
+	}
+	return unmetered(n - 1)
+}
+
+func straight(n int) int { return n + 1 }
+
+// Mutual recursion where only one side ticks, via a helper: both are
+// in the SCC and both reach the budget, so neither fires.
+func ping(e *Engine, n int) int {
+	if n == 0 {
+		return 0
+	}
+	return pong(e, n-1)
+}
+
+func pong(e *Engine, n int) int {
+	tick(e)
+	if n == 0 {
+		return 0
+	}
+	return ping(e, n-1)
+}
+
+func tick(e *Engine) { e.b.Tick() }
+
+// Mutual recursion with no budget anywhere: both fire.
+func evenHop(n int) bool { // want "never consults the guard.Budget"
+	if n == 0 {
+		return true
+	}
+	return oddHop(n - 1)
+}
+
+func oddHop(n int) bool { // want "never consults the guard.Budget"
+	if n == 0 {
+		return false
+	}
+	return evenHop(n - 1)
+}
+
+// A recursive closure is recursion of its enclosing declaration.
+func closureLoop(n int) int { // want "never consults the guard.Budget"
+	var walk func(int) int
+	walk = func(m int) int {
+		if m == 0 {
+			return 0
+		}
+		return walk(m - 1)
+	}
+	return walk(n)
+}
+
+// The same shape with a budget call inside the closure is clean.
+func meteredClosure(e *Engine, n int) int {
+	var walk func(int) int
+	walk = func(m int) int {
+		e.b.Tick()
+		if m == 0 {
+			return 0
+		}
+		return walk(m - 1)
+	}
+	return walk(n)
+}

@@ -1,0 +1,52 @@
+// Firing and non-firing fixtures for ctxflow (parameter position,
+// fresh-context ban, nil-normalization idiom) and the core verdict
+// type.
+package core
+
+import "context"
+
+// Result mirrors the real ladder result (allowlisted verdict type).
+type Result struct {
+	Independent bool
+	Degraded    bool
+}
+
+// analyzeOnce is an allowlisted proof function.
+func analyzeOnce(ctx context.Context, verdict bool) Result {
+	return Result{Independent: verdict}
+}
+
+func fabricate() Result {
+	return Result{Independent: true} // want "outside the proof-function allowlist"
+}
+
+func firstCtx(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+func lateCtx(name string, ctx context.Context) error { // want "must be the first parameter"
+	return ctx.Err()
+}
+
+var _ = func(n int, ctx context.Context) error { // want "must be the first parameter"
+	return ctx.Err()
+}
+
+func detached() context.Context {
+	return context.Background() // want "outside main detaches"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "outside main detaches"
+}
+
+func normalized(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() // nil-normalization idiom: allowed
+	}
+	return ctx
+}
+
+func annotated() context.Context {
+	return context.Background() //xqvet:ignore ctxflow fixture detach point, reason supplied
+}

@@ -1,0 +1,21 @@
+// Firing and non-firing fixtures for the global-randomness half of
+// clockinject.
+package faultinject
+
+import "math/rand"
+
+func draw() int {
+	return rand.Intn(10) // want "global math/rand"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand"
+}
+
+func seeded(rng *rand.Rand) int {
+	return rng.Intn(10) // drawing from an injected generator is the point
+}
+
+func fresh(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructing a seeded source is legal
+}

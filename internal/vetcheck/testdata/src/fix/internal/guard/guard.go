@@ -1,0 +1,33 @@
+// Package guard is the fixture's stand-in for the real guard package:
+// the checks match it by module-relative path and by name, so the
+// signatures only need to be shaped like the real ones.
+package guard
+
+// InternalError mirrors the real typed panic payload.
+type InternalError struct{ Value any }
+
+func (e *InternalError) Error() string { return "internal error" }
+
+// Recover mirrors the real boundary converter.
+func Recover(errp *error) {
+	if r := recover(); r != nil {
+		*errp = &InternalError{Value: r}
+	}
+}
+
+// OnPanic mirrors the real observing recoverer.
+func OnPanic(f func(*InternalError)) {
+	if r := recover(); r != nil {
+		f(&InternalError{Value: r})
+	}
+}
+
+// Budget mirrors the real budget: only the method set matters.
+type Budget struct{ n int }
+
+func (b *Budget) Tick()                 { b.n++ }
+func (b *Budget) Check() error          { return nil }
+func (b *Budget) AddNodes(n int) error  { b.n += n; return nil }
+func (b *Budget) AddChains(n int) error { b.n += n; return nil }
+func (b *Budget) CheckK(k int) error    { return nil }
+func (b *Budget) Point(name string)     {}

@@ -1,0 +1,18 @@
+// Fixtures for the pragma machinery itself: a well-formed ignore
+// suppresses exactly one finding; a reasonless, unknown-check or stale
+// ignore is a finding in its own right and suppresses nothing.
+package server
+
+import "time"
+
+var suppressed = time.Now //xqvet:ignore clockinject fixture: a reasoned ignore must consume the finding on its line
+
+// want "needs a non-empty reason"
+//xqvet:ignore clockinject
+var unsuppressed = time.Now // want "ambient time.Now"
+
+//xqvet:ignore nosuchcheck the check name is bogus // want "unknown check"
+var harmless = 1
+
+//xqvet:ignore budgetpoints nothing on the next line can fire this // want "stale xqvet:ignore"
+var alsoHarmless = 2

@@ -1,0 +1,67 @@
+// Firing and non-firing fixtures for the goroutine-recover rule and
+// clockinject (server is in both GoRecoverPackages and ClockPackages).
+package server
+
+import (
+	"time"
+
+	"example.com/fix/internal/guard"
+)
+
+func work() {}
+
+func spawnBare() {
+	go work() // want "goroutine has no deferred recover"
+}
+
+func spawnNakedLit() {
+	go func() { // want "goroutine has no deferred recover"
+		work()
+	}()
+}
+
+func spawnGuardRecover() {
+	go func() {
+		var err error
+		defer guard.Recover(&err)
+		work()
+	}()
+}
+
+func spawnGuardOnPanic() {
+	go func() {
+		defer guard.OnPanic(func(*guard.InternalError) {})
+		work()
+	}()
+}
+
+func spawnNamedGuarded() {
+	go guarded()
+}
+
+func guarded() {
+	defer guard.OnPanic(func(*guard.InternalError) {})
+	work()
+}
+
+// --- clockinject ---
+
+func stamp() time.Time {
+	return time.Now() // want "ambient time.Now"
+}
+
+var defaultClock = time.Now // want "ambient time.Now"
+
+func nap() {
+	time.Sleep(time.Millisecond) // want "ambient time.Sleep"
+}
+
+func age(t0, t1 time.Time) time.Duration {
+	return t1.Sub(t0) // Sub on values is fine; only ambient reads are banned
+}
+
+type clocked struct {
+	now func() time.Time
+}
+
+func (c *clocked) stamp() time.Time { return c.now() }

@@ -1,0 +1,51 @@
+// Firing and non-firing fixtures for the panicdiscipline typed-panic
+// and recover-confinement rules (xmltree is an engine package).
+package xmltree
+
+import "example.com/fix/internal/guard"
+
+func bare() {
+	panic("boom") // want "panic in engine package must carry"
+}
+
+func typed() {
+	panic(&guard.InternalError{Value: "invariant broken"})
+}
+
+func MustParse(ok bool) {
+	if !ok {
+		panic("must idiom: exported")
+	}
+}
+
+func mustBuild(ok bool) {
+	if !ok {
+		panic("must idiom: unexported")
+	}
+}
+
+func closureInsideMust() {}
+
+// MustAll may panic even from a closure it contains.
+func MustAll(ok bool) {
+	f := func() {
+		if !ok {
+			panic("closure inside a Must constructor")
+		}
+	}
+	f()
+}
+
+func sneaky() (err error) {
+	defer func() {
+		if r := recover(); r != nil { // want "recover.. outside internal/guard"
+			err = nil
+		}
+	}()
+	return nil
+}
+
+func disciplined() (err error) {
+	defer guard.Recover(&err)
+	return nil
+}

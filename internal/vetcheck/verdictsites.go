@@ -1,0 +1,113 @@
+package vetcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// checkVerdictSites guards the soundness theorem itself (Theorems
+// 3.2/5.1 via DESIGN.md §5): a verdict struct's Independent field may
+// only become true inside the allowlisted proof functions — the sites
+// that actually carry the paper's argument. Setting it to the literal
+// false is conservative and therefore legal anywhere; any other write
+// outside the allowlist is a shortcut past the proof and fails the
+// build.
+func checkVerdictSites(p *pass) {
+	for _, pkg := range p.mod.Pkgs {
+		for _, f := range pkg.Files {
+			walkWithDecl(f, func(n ast.Node, decl *ast.FuncDecl) {
+				switch node := n.(type) {
+				case *ast.CompositeLit:
+					checkVerdictLit(p, pkg, node, decl)
+				case *ast.AssignStmt:
+					checkVerdictAssign(p, pkg, node, decl)
+				}
+			})
+		}
+	}
+}
+
+// verdictType reports whether t (possibly behind a pointer) is one of
+// the configured verdict structs.
+func (p *pass) verdictType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	for _, pkg := range p.mod.Pkgs {
+		if pkg.Pkg == obj.Pkg() {
+			return p.cfg.VerdictTypes[relName(pkg, obj.Name())]
+		}
+	}
+	return false
+}
+
+// constFalse reports whether e is a constant-false expression.
+func constFalse(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && !constant.BoolVal(tv.Value)
+}
+
+func (p *pass) inProofFunc(pkg *Package, decl *ast.FuncDecl) bool {
+	return decl != nil && p.cfg.ProofFuncs[relName(pkg, decl.Name.Name)]
+}
+
+func checkVerdictLit(p *pass, pkg *Package, lit *ast.CompositeLit, decl *ast.FuncDecl) {
+	tv, ok := pkg.Info.Types[lit]
+	if !ok || !p.verdictType(tv.Type) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			// Positional verdict literals hide which value lands in
+			// Independent; demand the proof allowlist outright.
+			if !p.inProofFunc(pkg, decl) {
+				p.report("verdictsites", lit.Pos(),
+					"positional composite literal of verdict type outside a proof function; use keyed fields")
+			}
+			return
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Independent" {
+			continue
+		}
+		if constFalse(pkg, kv.Value) || p.inProofFunc(pkg, decl) {
+			continue
+		}
+		p.report("verdictsites", kv.Pos(),
+			"Independent set to a non-false value outside the proof-function allowlist (see DESIGN.md §5)")
+	}
+}
+
+func checkVerdictAssign(p *pass, pkg *Package, as *ast.AssignStmt, decl *ast.FuncDecl) {
+	for i, lhs := range as.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Independent" {
+			continue
+		}
+		tv, ok := pkg.Info.Types[sel.X]
+		if !ok || !p.verdictType(tv.Type) {
+			continue
+		}
+		if i < len(as.Rhs) && len(as.Lhs) == len(as.Rhs) && constFalse(pkg, as.Rhs[i]) {
+			continue
+		}
+		if p.inProofFunc(pkg, decl) {
+			continue
+		}
+		p.report("verdictsites", as.Pos(),
+			"Independent assigned a non-false value outside the proof-function allowlist (see DESIGN.md §5)")
+	}
+}

@@ -169,7 +169,7 @@ var (
 	updates      []Upd
 )
 
-func buildWorkload() {
+func mustBuildWorkload() {
 	add := func(name, text string) {
 		ast, err := xquery.ParseQuery(text)
 		if err != nil {
@@ -197,14 +197,14 @@ func buildWorkload() {
 
 // Views returns the 36 benchmark views in order q1–q20, A1–A8, B1–B8.
 func Views() []View {
-	workloadOnce.Do(buildWorkload)
+	workloadOnce.Do(mustBuildWorkload)
 	return views
 }
 
 // Updates returns the 31 benchmark updates in order UA1–8, UB1–8,
 // UI1–5, UN1–5, UP1–5.
 func Updates() []Upd {
-	workloadOnce.Do(buildWorkload)
+	workloadOnce.Do(mustBuildWorkload)
 	return updates
 }
 

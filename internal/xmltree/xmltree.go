@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"xqindep/internal/guard"
 )
 
 // Loc identifies a node in a Store. The zero value NilLoc is not a
@@ -75,7 +77,7 @@ func (s *Store) Contains(l Loc) bool { return l > 0 && int(l) <= len(s.nodes) }
 
 func (s *Store) at(l Loc) *node {
 	if !s.Contains(l) {
-		panic(fmt.Sprintf("xmltree: location %d not in store", l))
+		panic(&guard.InternalError{Value: fmt.Sprintf("xmltree: location %d not in store", l)})
 	}
 	return &s.nodes[int(l)-1]
 }
@@ -107,7 +109,7 @@ func (s *Store) IsText(l Loc) bool { return s.at(l).kind == TextKind }
 func (s *Store) Tag(l Loc) string {
 	n := s.at(l)
 	if n.kind != ElementKind {
-		panic("xmltree: Tag on text node")
+		panic(&guard.InternalError{Value: "xmltree: Tag on text node"})
 	}
 	return n.tag
 }
@@ -116,7 +118,7 @@ func (s *Store) Tag(l Loc) string {
 func (s *Store) Text(l Loc) string {
 	n := s.at(l)
 	if n.kind != TextKind {
-		panic("xmltree: Text on element node")
+		panic(&guard.InternalError{Value: "xmltree: Text on element node"})
 	}
 	return n.text
 }
@@ -147,7 +149,7 @@ func (s *Store) Child(l Loc, i int) Loc { return s.at(l).children[i] }
 func (s *Store) SetTag(l Loc, tag string) {
 	n := s.at(l)
 	if n.kind != ElementKind {
-		panic("xmltree: SetTag on text node")
+		panic(&guard.InternalError{Value: "xmltree: SetTag on text node"})
 	}
 	n.tag = tag
 }
@@ -156,7 +158,7 @@ func (s *Store) SetTag(l Loc, tag string) {
 func (s *Store) SetText(l Loc, value string) {
 	n := s.at(l)
 	if n.kind != TextKind {
-		panic("xmltree: SetText on element node")
+		panic(&guard.InternalError{Value: "xmltree: SetText on element node"})
 	}
 	n.text = value
 }
@@ -173,15 +175,15 @@ func (s *Store) AppendChild(parent, child Loc) {
 func (s *Store) InsertChildren(parent Loc, i int, kids []Loc) {
 	p := s.at(parent)
 	if p.kind != ElementKind {
-		panic("xmltree: insert under text node")
+		panic(&guard.InternalError{Value: "xmltree: insert under text node"})
 	}
 	if i < 0 || i > len(p.children) {
-		panic(fmt.Sprintf("xmltree: insert index %d out of range [0,%d]", i, len(p.children)))
+		panic(&guard.InternalError{Value: fmt.Sprintf("xmltree: insert index %d out of range [0,%d]", i, len(p.children))})
 	}
 	for _, k := range kids {
 		kn := s.at(k)
 		if kn.parent != NilLoc {
-			panic("xmltree: inserting a node that already has a parent")
+			panic(&guard.InternalError{Value: "xmltree: inserting a node that already has a parent"})
 		}
 		kn.parent = parent
 	}

@@ -23,6 +23,8 @@ package xquery
 
 import (
 	"fmt"
+
+	"xqindep/internal/guard"
 )
 
 // RootVar is the reserved name of the single free variable of
@@ -359,7 +361,7 @@ func FreeQueryVars(q Query, out map[string]bool) {
 		FreeQueryVars(n.Then, out)
 		FreeQueryVars(n.Else, out)
 	default:
-		panic(fmt.Sprintf("xquery: unknown query node %T", q))
+		panic(&guard.InternalError{Value: fmt.Sprintf("xquery: unknown query node %T", q)})
 	}
 }
 
@@ -401,7 +403,7 @@ func FreeUpdateVars(u Update, out map[string]bool) {
 		FreeQueryVars(n.Target, out)
 		FreeQueryVars(n.Source, out)
 	default:
-		panic(fmt.Sprintf("xquery: unknown update node %T", u))
+		panic(&guard.InternalError{Value: fmt.Sprintf("xquery: unknown update node %T", u)})
 	}
 }
 

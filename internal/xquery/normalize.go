@@ -1,5 +1,7 @@
 package xquery
 
+import "xqindep/internal/guard"
+
 // Normalize rewrites nested for-expressions into binding-nested form:
 //
 //	for $x in E return for $y in F return R   (with $x not free in R)
@@ -26,7 +28,7 @@ func Normalize(q Query) Query {
 		f := For{Var: n.Var, In: Normalize(n.In), Return: Normalize(n.Return)}
 		return rotateFor(f)
 	default:
-		panic("xquery: Normalize: unknown node")
+		panic(&guard.InternalError{Value: "xquery: Normalize: unknown node"})
 	}
 }
 
@@ -85,7 +87,7 @@ func NormalizeUpdate(u Update) Update {
 	case Replace:
 		return Replace{Target: Normalize(n.Target), Source: Normalize(n.Source)}
 	default:
-		panic("xquery: NormalizeUpdate: unknown node")
+		panic(&guard.InternalError{Value: "xquery: NormalizeUpdate: unknown node"})
 	}
 }
 

@@ -816,6 +816,6 @@ func substituteVar(q Query, from, to string) Query {
 			Else: substituteVar(n.Else, from, to),
 		}
 	default:
-		panic(fmt.Sprintf("xquery: substituteVar: unknown node %T", q))
+		panic(&guard.InternalError{Value: fmt.Sprintf("xquery: substituteVar: unknown node %T", q)})
 	}
 }

@@ -160,6 +160,7 @@ func Serve(ctx context.Context, addr string, p *Pool, drainTimeout time.Duration
 		return err
 	case <-ctx.Done():
 	}
+	//xqvet:ignore ctxflow drain runs after the serve context died; the drain deadline must outlive it
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	// Drain the pool first so /readyz flips and queued analyses

@@ -16,6 +16,25 @@ FUZZTIME="${FUZZTIME:-10s}"
 echo "== go vet"
 go vet ./...
 
+echo "== gofmt"
+unformatted="$(gofmt -l . | grep -v testdata || true)"
+if [ -n "${unformatted}" ]; then
+  echo "gofmt needed on:" >&2
+  echo "${unformatted}" >&2
+  exit 1
+fi
+
+echo "== xqvet"
+go run ./cmd/xqvet ./...
+
+echo "== xqvet negative test (seeded violations must fail the gate)"
+# The golden fixtures are a module full of deliberate violations; if
+# xqvet ever exits 0 on them, the gate has silently stopped gating.
+if go run ./cmd/xqvet -dir internal/vetcheck/testdata/src/fix ./... >/dev/null 2>&1; then
+  echo "xqvet negative test failed: fixture violations were not reported" >&2
+  exit 1
+fi
+
 echo "== go build"
 go build ./...
 

@@ -228,7 +228,7 @@ func (s *Schema) Independent(q *Query, u *Update) (bool, error) {
 // Analyze runs the selected analysis under default limits and returns
 // the full report.
 func (s *Schema) Analyze(q *Query, u *Update, m Method) (Report, error) {
-	return s.AnalyzeContext(context.Background(), q, u, m, Options{})
+	return s.AnalyzeContext(context.Background(), q, u, m, Options{}) //xqvet:ignore ctxflow context-free convenience wrapper; cancellation-aware callers use AnalyzeContext
 }
 
 // AnalyzeContext runs the selected analysis under ctx and opts.
