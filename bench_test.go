@@ -1,7 +1,7 @@
 package xqindep
 
 // The benchmarks in this file regenerate the measurements behind every
-// panel of the paper's Figure 3 (see DESIGN.md §5 and EXPERIMENTS.md):
+// panel of the paper's Figure 3 (see DESIGN.md §7 and EXPERIMENTS.md):
 //
 //	BenchmarkFigure3a…  — static analysis time per update vs all views
 //	BenchmarkFigure3b…  — full 36×31 matrix classification cost
@@ -19,6 +19,7 @@ import (
 	"xqindep/internal/eval"
 	"xqindep/internal/pathanalysis"
 	"xqindep/internal/rbench"
+	"xqindep/internal/refcdag"
 	"xqindep/internal/typeanalysis"
 	"xqindep/internal/xmark"
 	"xqindep/internal/xmltree"
@@ -206,6 +207,58 @@ func BenchmarkConflictCheck(b *testing.B) {
 		cdag.ConflictUpdateRet(uc, qc.Ret)
 		cdag.ConflictUpdateUsed(uc, qc.Used)
 	}
+}
+
+// BenchmarkCompiledVsReference pits the dense compiled-schema engine
+// against the retained map-based reference (internal/refcdag) on one
+// representative XMark pair, for the two phases the compiled-schema
+// refactor targets: DAG inference (query + update chains from scratch)
+// and the isolated conflict-check step. cmd/xqbench -compiled-bench
+// writes the same comparison to BENCH_compiledschema.json.
+func BenchmarkCompiledVsReference(b *testing.B) {
+	d := xmark.Schema()
+	v, _ := xmark.ViewByName("A3")
+	u, _ := xmark.UpdateByName("UB2")
+
+	b.Run("infer/reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := refcdag.EngineFor(d, v.AST, u.AST)
+			e.Query(e.RootEnv(), v.AST)
+			e.Update(e.RootEnv(), u.AST)
+		}
+	})
+	b.Run("infer/dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := cdag.EngineFor(d, v.AST, u.AST)
+			e.Query(e.RootEnv(), v.AST)
+			e.Update(e.RootEnv(), u.AST)
+		}
+	})
+
+	re := refcdag.EngineFor(d, v.AST, u.AST)
+	rq := re.Query(re.RootEnv(), v.AST)
+	ru := re.Update(re.RootEnv(), u.AST)
+	b.Run("conflict/reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			refcdag.ConflictRetUpdate(rq.Ret, ru)
+			refcdag.ConflictUpdateRet(ru, rq.Ret)
+			refcdag.ConflictUpdateUsed(ru, rq.Used)
+		}
+	})
+	de := cdag.EngineFor(d, v.AST, u.AST)
+	dq := de.Query(de.RootEnv(), v.AST)
+	du := de.Update(de.RootEnv(), u.AST)
+	b.Run("conflict/dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cdag.ConflictRetUpdate(dq.Ret, du)
+			cdag.ConflictUpdateRet(du, dq.Ret)
+			cdag.ConflictUpdateUsed(du, dq.Used)
+		}
+	})
 }
 
 // BenchmarkEvaluator covers the dynamic-semantics substrate: one

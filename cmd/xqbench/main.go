@@ -5,12 +5,15 @@
 //	xqbench -fig 3c            view re-materialisation savings
 //	xqbench -fig 3d            R-benchmark scalability surface
 //	xqbench -fig all           everything
+//	xqbench -compiled-bench    dense compiled-schema engine vs the map
+//	                           reference; writes BENCH_compiledschema.json
 //
 // Flags tune the workload sizes; defaults regenerate the shapes of the
 // paper on laptop-scale inputs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,10 +35,19 @@ func main() {
 		dMs      = flag.String("d-ms", "1,5,10", "expression sizes m for 3d")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget per analysis run (0 = none; overruns count as dependent)")
 		maxNodes = flag.Int("max-nodes", 0, "CDAG node budget per analysis run (0 = default)")
+
+		compiledBench = flag.Bool("compiled-bench", false, "benchmark the dense compiled-schema engine against the map reference and exit")
+		benchPair     = flag.String("bench-pair", "A3:UB2", "view:update pair for -compiled-bench")
+		benchOut      = flag.String("bench-out", "BENCH_compiledschema.json", "output file for -compiled-bench ('' = stdout table only)")
 	)
 	flag.Parse()
 	experiments.AnalysisTimeout = time.Duration(*timeout)
 	experiments.AnalysisLimits.MaxNodes = *maxNodes
+
+	if *compiledBench {
+		runCompiledBench(*benchPair, *benchOut)
+		return
+	}
 
 	run3a := *fig == "3a" || *fig == "all"
 	run3b := *fig == "3b" || *fig == "all"
@@ -68,6 +80,36 @@ func main() {
 	if run3d {
 		fmt.Println(experiments.RenderFigure3d(experiments.Figure3d(parseInts(*dNs), parseInts(*dMs))))
 	}
+}
+
+// runCompiledBench measures the dense engine against the map-based
+// reference on one XMark pair and writes the comparison as JSON — the
+// committed BENCH_compiledschema.json is regenerated this way.
+func runCompiledBench(pair, out string) {
+	name := strings.SplitN(pair, ":", 2)
+	if len(name) != 2 {
+		fmt.Fprintf(os.Stderr, "xqbench: -bench-pair must be view:update, got %q\n", pair)
+		os.Exit(2)
+	}
+	cb, err := experiments.MeasureCompiledBench(name[0], name[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqbench:", err)
+		os.Exit(2)
+	}
+	fmt.Print(experiments.RenderCompiledBench(cb))
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(cb, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "xqbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
 }
 
 func parseInts(s string) []int {

@@ -1,5 +1,5 @@
 // Command xqvet is the repository's static-analysis gate. It loads
-// every package of the module and enforces the five project invariants
+// every package of the module and enforces the six project invariants
 // (panicdiscipline, budgetpoints, verdictsites, ctxflow, clockinject)
 // described in DESIGN.md §5.
 //

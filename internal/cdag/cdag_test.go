@@ -52,7 +52,7 @@ f <- ()
 
 func TestSingletonAndChains(t *testing.T) {
 	e := NewEngine(figure1, 1, 0)
-	s := e.SingletonSet(chain.ParseChain("doc.a.c"))
+	s := e.SingletonSet(chain.MustParseChain("doc.a.c"))
 	if got := s.Strings(0); !reflect.DeepEqual(got, []string{"doc.a.c"}) {
 		t.Errorf("singleton chains = %v", got)
 	}
@@ -142,10 +142,12 @@ func TestUpdateDAGPaperExamples(t *testing.T) {
 	if got := u1.Full.Strings(0); !reflect.DeepEqual(got, []string{"doc.b.c"}) {
 		t.Errorf("u1 full chains = %v", got)
 	}
-	if !u1.ChangeRegion[Node{2, "c"}] {
-		t.Errorf("u1 change region = %v", u1.ChangeRegion)
+	cSym, _ := e.C.SymOf("c")
+	bSym, _ := e.C.SymOf("b")
+	if !u1.ChangeRegion.Has(Node{2, cSym}) {
+		t.Errorf("u1 change region misses 2:c")
 	}
-	if u1.ChangeRegion[Node{1, "b"}] {
+	if u1.ChangeRegion.Has(Node{1, bSym}) {
 		t.Errorf("target prefix wrongly in change region")
 	}
 
@@ -281,7 +283,7 @@ func TestEngineDepthBound(t *testing.T) {
 
 func TestRebaseAndSuffixExtensions(t *testing.T) {
 	e := NewEngine(bib, 1, 1)
-	inner := e.SingletonSet(chain.ParseChain("first.S"))
+	inner := e.SingletonSet(chain.MustParseChain("first.S"))
 	reb := inner.Rebase("author")
 	if got := reb.Strings(0); !reflect.DeepEqual(got, []string{"author.first.S"}) {
 		t.Errorf("Rebase = %v", got)

@@ -4,67 +4,98 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"xqindep/internal/dtd"
 )
 
 // Dot renders the set as a Graphviz digraph, with endpoints drawn as
-// double circles — the debugging view of the paper's Figure 2.
-//
-//xqvet:ignore budgetpoints diagnostic rendering of an already-budgeted CDAG; does no analysis work
+// double circles — the debugging view of the paper's Figure 2. The
+// output is rendered over type names and sorted exactly like the
+// map-based reference engine's, so isomorphic DAGs produce identical
+// bytes regardless of which engine built them (the differential suite
+// relies on this).
 func (s *Set) Dot(name string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n", name)
-	id := func(n Node) string { return fmt.Sprintf("%q", fmt.Sprintf("%d:%s", n.Depth, n.Sym)) }
-	var nodes []Node
-	seen := map[Node]bool{}
-	addNode := func(n Node) {
+	type dnode struct {
+		depth int
+		sym   string
+	}
+	var nodes []dnode
+	seen := map[dnode]bool{}
+	s.roots.ForEach(func(r int) {
+		n := dnode{0, s.eng.symName(dtd.SymID(r))}
 		if !seen[n] {
 			seen[n] = true
 			nodes = append(nodes, n)
 		}
-	}
-	for r := range s.roots {
-		addNode(Node{0, r})
-	}
-	type edge struct {
-		from Node
+	})
+	type dedge struct {
+		from dnode
 		to   string
 	}
-	var edges []edge
-	for from, tos := range s.out {
-		addNode(from)
-		for to := range tos {
-			addNode(Node{from.Depth + 1, to})
-			edges = append(edges, edge{from, to})
+	var edges []dedge
+	for d, row := range s.out {
+		for from, bits := range row {
+			if !bits.Any() {
+				continue
+			}
+			fn := dnode{d, s.eng.symName(dtd.SymID(from))}
+			if !seen[fn] {
+				seen[fn] = true
+				nodes = append(nodes, fn)
+			}
+			bits.ForEach(func(to int) {
+				tn := dnode{d + 1, s.eng.symName(dtd.SymID(to))}
+				if !seen[tn] {
+					seen[tn] = true
+					nodes = append(nodes, tn)
+				}
+				edges = append(edges, dedge{fn, tn.sym})
+			})
 		}
 	}
-	for n := range s.ends {
-		addNode(n)
+	isEnd := map[dnode]bool{}
+	for d, bits := range s.ends {
+		bits.ForEach(func(i int) {
+			n := dnode{d, s.eng.symName(dtd.SymID(i))}
+			isEnd[n] = true
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		})
 	}
 	sort.Slice(nodes, func(i, j int) bool {
-		if nodes[i].Depth != nodes[j].Depth {
-			return nodes[i].Depth < nodes[j].Depth
+		if nodes[i].depth != nodes[j].depth {
+			return nodes[i].depth < nodes[j].depth
 		}
-		return nodes[i].Sym < nodes[j].Sym
+		return nodes[i].sym < nodes[j].sym
 	})
 	for _, n := range nodes {
 		shape := "circle"
-		if s.ends[n] {
+		if isEnd[n] {
 			shape = "doublecircle"
 		}
-		fmt.Fprintf(&b, "  %s [label=%q, shape=%s];\n", id(n), n.Sym, shape)
+		fmt.Fprintf(&b, "  %s [label=%q, shape=%s];\n", dotID(n.depth, n.sym), n.sym, shape)
 	}
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].from != edges[j].from {
-			if edges[i].from.Depth != edges[j].from.Depth {
-				return edges[i].from.Depth < edges[j].from.Depth
+			if edges[i].from.depth != edges[j].from.depth {
+				return edges[i].from.depth < edges[j].from.depth
 			}
-			return edges[i].from.Sym < edges[j].from.Sym
+			return edges[i].from.sym < edges[j].from.sym
 		}
 		return edges[i].to < edges[j].to
 	})
 	for _, e := range edges {
-		fmt.Fprintf(&b, "  %s -> %s;\n", id(e.from), id(Node{e.from.Depth + 1, e.to}))
+		fmt.Fprintf(&b, "  %s -> %s;\n", dotID(e.from.depth, e.from.sym), dotID(e.from.depth+1, e.to))
 	}
 	b.WriteString("}\n")
 	return b.String()
+}
+
+// dotID is the stable Graphviz node identifier "depth:sym", quoted.
+func dotID(depth int, sym string) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("%d:%s", depth, sym))
 }

@@ -18,37 +18,112 @@
 // than k times (pigeonhole), so the DAG is truncated at that depth.
 // The resulting universe is a superset of Ck_d, which preserves both
 // soundness and completeness relative to the infinite analysis.
+//
+// This is the dense, compiled-schema implementation: symbols are
+// interned dtd.SymID values from a dtd.Compiled artifact, adjacency is
+// a bitset row per (depth, symbol), and the set algebra — union,
+// intersection, pruning, prefix-conflict probing — runs as word-wise
+// bitset operations. The retained map-based engine lives in
+// internal/refcdag as the differential-testing reference.
 package cdag
 
 import (
 	"sort"
 	"strings"
 
+	"xqindep/internal/bitset"
 	"xqindep/internal/chain"
 	"xqindep/internal/dtd"
 	"xqindep/internal/guard"
 	"xqindep/internal/xquery"
 )
 
-// Node identifies a CDAG node: a type symbol at a depth.
+// Node identifies a CDAG node: an interned type symbol at a depth.
 type Node struct {
 	Depth int
-	Sym   string
+	Sym   dtd.SymID
+}
+
+// Marks is a per-depth bitset marking of CDAG nodes — the dense
+// replacement for map[Node]bool (productivity flags, change regions,
+// endpoint overrides). The zero value is an empty marking.
+type Marks []bitset.Set
+
+// add marks (d, sym).
+func (m *Marks) add(d int, sym dtd.SymID) {
+	for len(*m) <= d {
+		*m = append(*m, nil)
+	}
+	(*m)[d].Add(int(sym))
+}
+
+// or marks every bit of bits at depth d.
+func (m *Marks) or(d int, bits bitset.Set) {
+	for len(*m) <= d {
+		*m = append(*m, nil)
+	}
+	(*m)[d].Or(bits)
+}
+
+// union merges t into m.
+func (m *Marks) union(t Marks) {
+	for d, bits := range t {
+		if bits.Any() {
+			m.or(d, bits)
+		}
+	}
+}
+
+// at returns the marked symbols at depth d (nil when none).
+func (m Marks) at(d int) bitset.Set {
+	if d < 0 || d >= len(m) {
+		return nil
+	}
+	return m[d]
+}
+
+// Has reports whether n is marked.
+func (m Marks) Has(n Node) bool { return m.at(n.Depth).Has(int(n.Sym)) }
+
+// any reports whether anything is marked.
+func (m Marks) any() bool {
+	for _, bits := range m {
+		if bits.Any() {
+			return true
+		}
+	}
+	return false
+}
+
+// clone returns an independent copy.
+func (m Marks) clone() Marks {
+	if m == nil {
+		return nil
+	}
+	out := make(Marks, len(m))
+	for d, bits := range m {
+		out[d] = bits.Clone()
+	}
+	return out
 }
 
 // Set is a chain set in CDAG representation. The zero value is not
-// usable; obtain Sets from an Engine.
+// usable; obtain Sets from an Engine. Successors of node (d, α) are
+// the bits of out[d][α] at depth d+1; there is no predecessor index —
+// backward steps scan one adjacency row, which for dense rows is
+// cheaper than maintaining the inverse maps the map-based engine kept.
 type Set struct {
 	eng   *Engine
-	roots map[string]bool          // symbols at depth 0
-	out   map[Node]map[string]bool // successors: node → child symbols
-	in    map[Node]map[string]bool // predecessors: node → parent symbols
-	ends  map[Node]bool            // endpoints: chains are root→endpoint paths
+	roots bitset.Set     // symbols at depth 0
+	out   [][]bitset.Set // out[d][α] = successor symbols at depth d+1
+	ends  []bitset.Set   // ends[d] = endpoint symbols at depth d
 }
 
 // Engine holds the schema context shared by all sets of one analysis.
 type Engine struct {
 	D *dtd.DTD
+	// C is the compiled schema artifact all sets index by.
+	C *dtd.Compiled
 	// K is the multiplicity the engine was built for.
 	K int
 	// MaxDepth bounds chain length; see the package comment.
@@ -56,6 +131,12 @@ type Engine struct {
 	// budget, when non-nil, bounds graph growth and wall-clock time;
 	// the hot loops charge it cooperatively (see package guard).
 	budget *guard.Budget
+
+	// base is C.NumSyms(); IDs at or above it are extra symbols
+	// (constructed tags outside Σ) interned per engine.
+	base       int
+	extraNames []string
+	extraIdx   map[string]dtd.SymID
 }
 
 // WithBudget attaches a resource budget to the engine and returns it;
@@ -67,7 +148,10 @@ func (e *Engine) WithBudget(b *guard.Budget) *Engine {
 
 // NewEngine builds an engine for the DTD with the depth bound implied
 // by multiplicity k and the number of extra tags constructed by the
-// analysed expressions.
+// analysed expressions. The schema is compiled through the shared
+// compilation cache; a schema beyond the compiled-symbol limit aborts
+// via guard (recover with guard.Recover), degrading the analysis
+// ladder to the non-compiled methods.
 //
 // The bound is #nonrecursive + extraTags + k·#recursive + 2: a
 // non-recursive type can never occur twice on a chain (a repetition
@@ -77,53 +161,252 @@ func (e *Engine) WithBudget(b *guard.Budget) *Engine {
 // truncating there preserves both soundness and completeness of the
 // finite analysis.
 func NewEngine(d *dtd.DTD, k int, extraTags int) *Engine {
+	c, err := dtd.Compile(d)
+	if err != nil {
+		guard.Abort(err)
+	}
+	return NewEngineCompiled(c, k, extraTags)
+}
+
+// NewEngineCompiled is NewEngine over an already-compiled schema; use
+// it on hot serving paths where the artifact is resolved once per
+// request batch.
+func NewEngineCompiled(c *dtd.Compiled, k int, extraTags int) *Engine {
 	if k < 1 {
 		k = 1
 	}
-	rec := len(d.RecursiveTypes())
-	nonrec := d.Size() - rec
-	return &Engine{D: d, K: k, MaxDepth: nonrec + extraTags + k*rec + 2}
+	rec := c.RecursiveCount()
+	nonrec := c.DTD().Size() - rec
+	return &Engine{
+		D:        c.DTD(),
+		C:        c,
+		K:        k,
+		MaxDepth: nonrec + extraTags + k*rec + 2,
+		base:     c.NumSyms(),
+	}
+}
+
+// total is the size of the engine's symbol universe, extras included.
+func (e *Engine) total() int { return e.base + len(e.extraNames) }
+
+// newMarks returns a Marks with the given number of depth rows, each
+// pre-sized to the engine's symbol universe and all carved out of one
+// backing array: two allocations for the whole sweep, and no row ever
+// grows again. The conflict probes build several of these per check,
+// so incremental row growth would dominate their allocation profile.
+func (e *Engine) newMarks(depths int) Marks {
+	if depths <= 0 {
+		return nil
+	}
+	words := (e.total() + 63) / 64
+	backing := make(bitset.Set, depths*words)
+	m := make(Marks, depths)
+	for d := range m {
+		m[d] = backing[d*words : (d+1)*words : (d+1)*words]
+	}
+	return m
+}
+
+// symName resolves an interned ID to its type name.
+func (e *Engine) symName(s dtd.SymID) string {
+	if int(s) < e.base {
+		return e.C.NameOf(s)
+	}
+	return e.extraNames[int(s)-e.base]
+}
+
+// lookupSym resolves a name without interning.
+func (e *Engine) lookupSym(name string) (dtd.SymID, bool) {
+	if s, ok := e.C.SymOf(name); ok {
+		return s, true
+	}
+	s, ok := e.extraIdx[name]
+	return s, ok
+}
+
+// internSym resolves a name, interning it as an extra symbol when it
+// lies outside Σ (a constructed tag or rename target).
+func (e *Engine) internSym(name string) dtd.SymID {
+	if s, ok := e.lookupSym(name); ok {
+		return s
+	}
+	if e.total() >= int(^dtd.SymID(0)) {
+		guard.Abort(&guard.LimitError{Resource: "symbols", Limit: int(^dtd.SymID(0))})
+	}
+	s := dtd.SymID(e.total())
+	if e.extraIdx == nil {
+		e.extraIdx = make(map[string]dtd.SymID)
+	}
+	e.extraIdx[name] = s
+	e.extraNames = append(e.extraNames, name)
+	return s
+}
+
+// childSet returns the schema successor bitset of s; extras and the
+// string type have no children.
+func (e *Engine) childSet(s dtd.SymID) bitset.Set {
+	if int(s) < e.base {
+		return e.C.ChildSet(s)
+	}
+	return nil
+}
+
+// childSyms returns the schema child list of s.
+func (e *Engine) childSyms(s dtd.SymID) []dtd.SymID {
+	if int(s) < e.base {
+		return e.C.Children(s)
+	}
+	return nil
+}
+
+// testMask returns the bitset of symbols passing the node test over
+// the engine's current universe. One mask evaluation turns per-node
+// test checks into word-wise intersections.
+func (e *Engine) testMask(test xquery.NodeTest) bitset.Set {
+	str := int(e.C.StringSym())
+	m := bitset.New(e.total())
+	switch test.Kind {
+	case xquery.NodeAny:
+		for i := 0; i < e.total(); i++ {
+			m.Add(i)
+		}
+	case xquery.TextTest:
+		m.Add(str)
+	case xquery.WildcardTest:
+		for i := 0; i < e.total(); i++ {
+			m.Add(i)
+		}
+		m.Remove(str)
+	case xquery.TagTest:
+		if ls := e.C.LabelSyms(test.Tag); ls != nil {
+			m.Or(ls)
+		}
+		// µ⁻¹ may include the string type (its label is itself);
+		// node tests never select text nodes by tag.
+		m.Remove(str)
+		for i, name := range e.extraNames {
+			if name == test.Tag {
+				m.Add(e.base + i)
+			}
+		}
+	}
+	return m
 }
 
 // NewSet returns an empty set.
-func (e *Engine) NewSet() *Set {
-	return &Set{
-		eng:   e,
-		roots: make(map[string]bool),
-		out:   make(map[Node]map[string]bool),
-		in:    make(map[Node]map[string]bool),
-		ends:  make(map[Node]bool),
+func (e *Engine) NewSet() *Set { return &Set{eng: e} }
+
+// outRow returns the adjacency row at depth d, grown to the current
+// symbol universe.
+func (s *Set) outRow(d int) []bitset.Set {
+	for len(s.out) <= d {
+		s.out = append(s.out, nil)
 	}
+	if n := s.eng.total(); len(s.out[d]) < n {
+		row := make([]bitset.Set, n)
+		copy(row, s.out[d])
+		s.out[d] = row
+	}
+	return s.out[d]
 }
 
-// addEdge inserts from → (from.Depth+1, to). Every insertion charges
-// the engine budget: edge growth is the engine's unit of work, so a
+// outAt returns the successor bitset of (d, from); nil when absent.
+func (s *Set) outAt(d int, from dtd.SymID) bitset.Set {
+	if d < 0 || d >= len(s.out) || int(from) >= len(s.out[d]) {
+		return nil
+	}
+	return s.out[d][from]
+}
+
+// addEdge inserts (d, from) → (d+1, to). Every insertion charges the
+// engine budget: edge growth is the engine's unit of work, so a
 // runaway analysis aborts here long before exhausting memory.
-func (s *Set) addEdge(from Node, to string) {
+func (s *Set) addEdge(d int, from, to dtd.SymID) {
 	s.eng.budget.AddNodes(1)
-	m := s.out[from]
-	if m == nil {
-		m = make(map[string]bool)
-		s.out[from] = m
-	}
-	m[to] = true
-	tn := Node{from.Depth + 1, to}
-	mi := s.in[tn]
-	if mi == nil {
-		mi = make(map[string]bool)
-		s.in[tn] = mi
-	}
-	mi[from.Sym] = true
+	s.outRow(d)[from].Add(int(to))
 }
 
-// hasEdge reports the presence of from → to.
-func (s *Set) hasEdge(from Node, to string) bool { return s.out[from][to] }
+// mergeRow unions src into the successors of (d, from), charging the
+// budget one unit per source edge — the same rate addEdge charges the
+// map-based engine per insertion, kept so budget-limit behaviour is
+// comparable across the ladder.
+func (s *Set) mergeRow(d int, from dtd.SymID, src bitset.Set) {
+	s.eng.budget.AddNodes(src.Count())
+	s.outRow(d)[from].Or(src)
+}
+
+// hasEdge reports the presence of (d, from) → (d+1, to).
+func (s *Set) hasEdge(d int, from, to dtd.SymID) bool {
+	return s.outAt(d, from).Has(int(to))
+}
+
+// endsAt returns the endpoint symbols at depth d (nil when none).
+func (s *Set) endsAt(d int) bitset.Set {
+	if d < 0 || d >= len(s.ends) {
+		return nil
+	}
+	return s.ends[d]
+}
+
+// addEnd marks (d, sym) as an endpoint.
+func (s *Set) addEnd(d int, sym dtd.SymID) {
+	for len(s.ends) <= d {
+		s.ends = append(s.ends, nil)
+	}
+	s.ends[d].Add(int(sym))
+}
+
+// endsOr marks every bit of bits as endpoints at depth d.
+func (s *Set) endsOr(d int, bits bitset.Set) {
+	for len(s.ends) <= d {
+		s.ends = append(s.ends, nil)
+	}
+	s.ends[d].Or(bits)
+}
+
+// isEnd reports whether (d, sym) is an endpoint.
+func (s *Set) isEnd(d int, sym dtd.SymID) bool { return s.endsAt(d).Has(int(sym)) }
+
+// predBits returns the predecessor symbols of n, scanning the
+// adjacency row above it.
+func (s *Set) predBits(n Node) bitset.Set {
+	return s.predsOfBit(n.Depth, n.Sym)
+}
+
+func (s *Set) predsOfBit(d int, sym dtd.SymID) bitset.Set {
+	if d <= 0 || d-1 >= len(s.out) {
+		return nil
+	}
+	var out bitset.Set
+	for from, bits := range s.out[d-1] {
+		if bits.Has(int(sym)) {
+			out.Add(from)
+		}
+	}
+	return out
+}
+
+// predsOfSet returns the symbols at depth d-1 with an edge into any
+// target symbol at depth d.
+func (s *Set) predsOfSet(d int, targets bitset.Set) bitset.Set {
+	if d <= 0 || d-1 >= len(s.out) || !targets.Any() {
+		return nil
+	}
+	var out bitset.Set
+	for from, bits := range s.out[d-1] {
+		if bits.Intersects(targets) {
+			out.Add(from)
+		}
+	}
+	return out
+}
 
 // RootSet returns the set holding the single chain {sd}.
 func (e *Engine) RootSet() *Set {
 	s := e.NewSet()
-	s.roots[e.D.Start] = true
-	s.ends[Node{0, e.D.Start}] = true
+	start := e.C.Start()
+	s.roots.Add(int(start))
+	s.addEnd(0, start)
 	return s
 }
 
@@ -133,11 +416,15 @@ func (e *Engine) SingletonSet(c chain.Chain) *Set {
 	if c.IsEmpty() {
 		return s
 	}
-	s.roots[c[0]] = true
-	for i := 0; i+1 < len(c); i++ {
-		s.addEdge(Node{i, c[i]}, c[i+1])
+	syms := make([]dtd.SymID, len(c))
+	for i, name := range c {
+		syms[i] = e.internSym(name)
 	}
-	s.ends[Node{len(c) - 1, c.Last()}] = true
+	s.roots.Add(int(syms[0]))
+	for i := 0; i+1 < len(syms); i++ {
+		s.addEdge(i, syms[i], syms[i+1])
+	}
+	s.addEnd(len(syms)-1, syms[len(syms)-1])
 	return s
 }
 
@@ -149,23 +436,46 @@ func (s *Set) Clone() *Set {
 }
 
 // IsEmpty reports whether the set holds no chains.
-func (s *Set) IsEmpty() bool { return len(s.ends) == 0 }
+func (s *Set) IsEmpty() bool {
+	for _, bits := range s.ends {
+		if bits.Any() {
+			return false
+		}
+	}
+	return true
+}
 
 // EndCount returns the number of endpoint nodes (not chains — several
 // chains may share an endpoint).
-func (s *Set) EndCount() int { return len(s.ends) }
-
-// Ends returns the endpoints in deterministic order.
-func (s *Set) Ends() []Node {
-	out := make([]Node, 0, len(s.ends))
-	for n := range s.ends {
-		out = append(out, n)
+func (s *Set) EndCount() int {
+	n := 0
+	for _, bits := range s.ends {
+		n += bits.Count()
 	}
+	return n
+}
+
+// endNodes lists the endpoints in depth order (symbol-ID order within
+// a depth) without the name sort Ends performs.
+func (s *Set) endNodes() []Node {
+	var out []Node
+	for d, bits := range s.ends {
+		bits.ForEach(func(i int) {
+			out = append(out, Node{d, dtd.SymID(i)})
+		})
+	}
+	return out
+}
+
+// Ends returns the endpoints in deterministic order: by depth, then by
+// type name.
+func (s *Set) Ends() []Node {
+	out := s.endNodes()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Depth != out[j].Depth {
 			return out[i].Depth < out[j].Depth
 		}
-		return out[i].Sym < out[j].Sym
+		return s.eng.symName(out[i].Sym) < s.eng.symName(out[j].Sym)
 	})
 	return out
 }
@@ -184,14 +494,10 @@ type EndpointParent struct {
 func (s *Set) EndpointParents() []EndpointParent {
 	var out []EndpointParent
 	for _, n := range s.Ends() {
-		ep := EndpointParent{Sym: n.Sym, IsRoot: n.Depth == 0}
-		seen := map[string]bool{}
-		for _, p := range s.preds(n) {
-			if !seen[p.Sym] {
-				seen[p.Sym] = true
-				ep.Parents = append(ep.Parents, p.Sym)
-			}
-		}
+		ep := EndpointParent{Sym: s.eng.symName(n.Sym), IsRoot: n.Depth == 0}
+		s.predBits(n).ForEach(func(p int) {
+			ep.Parents = append(ep.Parents, s.eng.symName(dtd.SymID(p)))
+		})
 		sort.Strings(ep.Parents)
 		out = append(out, ep)
 	}
@@ -203,16 +509,18 @@ func (s *Set) AddAll(t *Set) {
 	if t == nil {
 		return
 	}
-	for r := range t.roots {
-		s.roots[r] = true
-	}
-	for from, tos := range t.out {
-		for to := range tos {
-			s.addEdge(from, to)
+	s.roots.Or(t.roots)
+	for d, row := range t.out {
+		for from, bits := range row {
+			if bits.Any() {
+				s.mergeRow(d, dtd.SymID(from), bits)
+			}
 		}
 	}
-	for n := range t.ends {
-		s.ends[n] = true
+	for d, bits := range t.ends {
+		if bits.Any() {
+			s.endsOr(d, bits)
+		}
 	}
 }
 
@@ -227,79 +535,75 @@ func (e *Engine) Union(sets ...*Set) *Set {
 
 // withEnds returns a copy of s's graph with the given endpoints,
 // pruned to the edges that spell its chains.
-func (s *Set) withEnds(ends map[Node]bool) *Set {
+func (s *Set) withEnds(ends Marks) *Set {
 	out := s.Clone()
-	out.ends = ends
+	out.ends = []bitset.Set(ends)
 	return out.prune()
 }
 
 // prune returns the sub-DAG of s containing exactly the edges on some
 // root→endpoint path. This plays the role of the paper's edge codes:
 // growth performed while exploring one step must not become spellable
-// context for the next step or for backward navigation.
+// context for the next step or for backward navigation. Both closures
+// run level-wise over whole bitset rows rather than node-at-a-time.
 func (s *Set) prune() *Set {
-	// Forward closure from roots.
-	fwd := make(map[Node]bool)
-	var frontier []Node
-	for r := range s.roots {
-		n := Node{0, r}
-		fwd[n] = true
-		frontier = append(frontier, n)
+	depths := len(s.ends)
+	if d := len(s.out) + 1; d > depths {
+		depths = d
 	}
-	for len(frontier) > 0 {
-		var next []Node
-		for _, f := range frontier {
-			s.eng.budget.Tick()
-			for _, c := range s.succs(f) {
-				if !fwd[c] {
-					fwd[c] = true
-					next = append(next, c)
+	if depths == 0 {
+		depths = 1
+	}
+	// Forward closure from the roots.
+	fwd := make([]bitset.Set, depths)
+	fwd[0] = s.roots.Clone()
+	for d := 0; d+1 < depths; d++ {
+		s.eng.budget.Tick()
+		var next bitset.Set
+		if d < len(s.out) {
+			for from, bits := range s.out[d] {
+				if fwd[d].Has(from) && bits.Any() {
+					next.Or(bits)
 				}
 			}
 		}
-		frontier = next
+		fwd[d+1] = next
 	}
-	// Backward closure from endpoints reachable forward.
-	back := make(map[Node]bool)
-	frontier = frontier[:0]
-	for n := range s.ends {
-		if fwd[n] {
-			back[n] = true
-			frontier = append(frontier, n)
+	// Backward closure from the forward-reachable endpoints.
+	back := make([]bitset.Set, depths)
+	for d := depths - 1; d >= 0; d-- {
+		s.eng.budget.Tick()
+		var b bitset.Set
+		b.Or(s.endsAt(d).And(fwd[d]))
+		if d+1 < depths && back[d+1].Any() {
+			p := s.predsOfSet(d+1, back[d+1])
+			p.AndWith(fwd[d])
+			b.Or(p)
 		}
-	}
-	for len(frontier) > 0 {
-		var next []Node
-		for _, f := range frontier {
-			s.eng.budget.Tick()
-			for _, p := range s.preds(f) {
-				if !back[p] {
-					back[p] = true
-					next = append(next, p)
-				}
-			}
-		}
-		frontier = next
+		back[d] = b
 	}
 	out := s.eng.NewSet()
-	for r := range s.roots {
-		if back[Node{0, r}] {
-			out.roots[r] = true
-		}
-	}
-	for from, tos := range s.out {
-		if !fwd[from] || !back[from] {
+	out.roots = bitset.Set(s.roots.And(back[0]))
+	for d := 0; d < len(s.out) && d+1 < depths; d++ {
+		keep := fwd[d].And(back[d])
+		if !keep.Any() {
 			continue
 		}
-		for to := range tos {
-			if back[Node{from.Depth + 1, to}] {
-				out.addEdge(from, to)
+		row := s.out[d]
+		keep.ForEach(func(from int) {
+			if int(from) >= len(row) {
+				return
 			}
-		}
+			kept := row[from].And(back[d+1])
+			if kept.Any() {
+				out.mergeRow(d, dtd.SymID(from), kept)
+			}
+		})
 	}
-	for n := range s.ends {
-		if fwd[n] {
-			out.ends[n] = true
+	for d := range s.ends {
+		kept := s.ends[d].And(fwd[d])
+		if kept.Any() {
+			out.endsOr(d, kept)
 		}
 	}
 	return out
@@ -312,48 +616,23 @@ func (s *Set) prune() *Set {
 // set has many endpoints.
 func (s *Set) subWithEnd(n Node) *Set {
 	out := s.eng.NewSet()
-	out.ends[n] = true
-	seen := map[Node]bool{n: true}
-	frontier := []Node{n}
-	for len(frontier) > 0 {
-		var next []Node
-		for _, f := range frontier {
-			if f.Depth == 0 {
-				if s.roots[f.Sym] {
-					out.roots[f.Sym] = true
-				}
-				continue
-			}
-			for _, p := range s.preds(f) {
-				out.addEdge(p, f.Sym)
-				if !seen[p] {
-					seen[p] = true
-					next = append(next, p)
-				}
+	out.addEnd(n.Depth, n.Sym)
+	cone := make([]bitset.Set, n.Depth+1)
+	cone[n.Depth].Add(int(n.Sym))
+	for d := n.Depth; d > 0; d-- {
+		s.eng.budget.Tick()
+		if d-1 >= len(s.out) {
+			continue
+		}
+		for from, bits := range s.out[d-1] {
+			kept := bits.And(cone[d])
+			if kept.Any() {
+				cone[d-1].Add(from)
+				out.mergeRow(d-1, dtd.SymID(from), kept)
 			}
 		}
-		frontier = next
 	}
-	return out
-}
-
-// succs lists the DAG successors of n.
-func (s *Set) succs(n Node) []Node {
-	tos := s.out[n]
-	out := make([]Node, 0, len(tos))
-	for to := range tos {
-		out = append(out, Node{n.Depth + 1, to})
-	}
-	return out
-}
-
-// preds lists the DAG predecessors of n; a root node has none.
-func (s *Set) preds(n Node) []Node {
-	froms := s.in[n]
-	out := make([]Node, 0, len(froms))
-	for f := range froms {
-		out = append(out, Node{n.Depth - 1, f})
-	}
+	out.roots = bitset.Set(s.roots.And(cone[0]))
 	return out
 }
 
@@ -361,14 +640,15 @@ func (s *Set) preds(n Node) []Node {
 // implementing AC/TC over the DAG. It returns the result set and, for
 // each input endpoint, whether the step produced anything from it (the
 // (STEPUH) used-chain filter).
-func (s *Set) Step(axis xquery.Axis, test xquery.NodeTest) (*Set, map[Node]bool) {
+func (s *Set) Step(axis xquery.Axis, test xquery.NodeTest) (*Set, Marks) {
 	if axis == xquery.Descendant || axis == xquery.DescendantOrSelf {
 		return s.descendantStep(axis, test)
 	}
 	out := s.Clone()
-	out.ends = make(map[Node]bool)
-	productive := make(map[Node]bool)
-	for end := range s.ends {
+	out.ends = nil
+	mask := s.eng.testMask(test)
+	var productive Marks
+	for _, end := range s.endNodes() {
 		var results []Node
 		switch axis {
 		case xquery.Self:
@@ -376,9 +656,9 @@ func (s *Set) Step(axis xquery.Axis, test xquery.NodeTest) (*Set, map[Node]bool)
 		case xquery.Child:
 			results = out.growChildren(end)
 		case xquery.Parent:
-			if end.Depth > 0 {
-				results = s.preds(end)
-			}
+			s.predBits(end).ForEach(func(p int) {
+				results = append(results, Node{end.Depth - 1, dtd.SymID(p)})
+			})
 		case xquery.Ancestor:
 			results = s.properAncestors(end)
 		case xquery.AncestorOrSelf:
@@ -392,67 +672,74 @@ func (s *Set) Step(axis xquery.Axis, test xquery.NodeTest) (*Set, map[Node]bool)
 		}
 		any := false
 		for _, n := range results {
-			if s.eng.testOK(n.Sym, test) {
-				out.ends[n] = true
+			if mask.Has(int(n.Sym)) {
+				out.addEnd(n.Depth, n.Sym)
 				any = true
 			}
 		}
 		if any {
-			productive[end] = true
+			productive.add(end.Depth, end.Sym)
 		}
 	}
 	return out.prune(), productive
 }
 
 // descendantStep handles descendant and descendant-or-self for all
-// endpoints in one traversal: the schema closure is grown from the
-// whole endpoint frontier at once (one BFS instead of one per
-// endpoint), results are the test-passing reached nodes, and
-// per-endpoint productivity — needed by (STEPUH) for plain descendant
-// — is recovered from a single backward closure of the passing nodes.
-func (s *Set) descendantStep(axis xquery.Axis, test xquery.NodeTest) (*Set, map[Node]bool) {
+// endpoints in one ascending sweep: since ⇒d edges always step one
+// depth down, every (depth, symbol) pair is expanded exactly once with
+// one bitset union of its schema successors. Per-endpoint
+// productivity — needed by (STEPUH) for plain descendant — is
+// recovered from a single descending backward closure of the passing
+// nodes.
+func (s *Set) descendantStep(axis xquery.Axis, test xquery.NodeTest) (*Set, Marks) {
 	out := s.Clone()
-	out.ends = make(map[Node]bool)
+	out.ends = nil
+	mask := s.eng.testMask(test)
 
-	// Forward closure below every endpoint, shared: reached nodes are
-	// results; expanded tracks expansion so each node grows once (a
-	// node may be both an endpoint and another endpoint's descendant).
-	reached := make(map[Node]bool)
-	expanded := make(map[Node]bool)
-	var frontier []Node
-	for end := range s.ends {
-		frontier = append(frontier, end)
-	}
-	for len(frontier) > 0 {
-		var next []Node
-		for _, f := range frontier {
-			if expanded[f] {
-				continue
-			}
-			expanded[f] = true
-			for _, c := range out.growChildren(f) {
-				if !reached[c] {
-					reached[c] = true
-					next = append(next, c)
-				}
-			}
+	// Forward closure below every endpoint, shared.
+	var active, reached Marks
+	for d, bits := range s.ends {
+		if bits.Any() {
+			active.or(d, bits)
 		}
-		frontier = next
+	}
+	for d := 0; d < len(active) && d < s.eng.MaxDepth; d++ {
+		bits := active.at(d)
+		if !bits.Any() {
+			continue
+		}
+		s.eng.budget.Tick()
+		var kids bitset.Set
+		bits.ForEach(func(i int) {
+			cs := s.eng.childSet(dtd.SymID(i))
+			if !cs.Any() {
+				return
+			}
+			s.eng.budget.AddNodes(cs.Count())
+			out.outRow(d)[i].Or(cs)
+			kids.Or(cs)
+		})
+		if kids.Any() {
+			reached.or(d+1, kids)
+			active.or(d+1, kids)
+		}
 	}
 
 	// Results: passing reached nodes, plus the endpoints themselves
 	// for descendant-or-self.
-	passing := make(map[Node]bool)
-	for n := range reached {
-		if s.eng.testOK(n.Sym, test) {
-			passing[n] = true
-			out.ends[n] = true
+	passing := make(Marks, len(reached))
+	for d, bits := range reached {
+		p := bits.And(mask)
+		if p.Any() {
+			passing[d] = bitset.Set(p)
+			out.endsOr(d, p)
 		}
 	}
 	if axis == xquery.DescendantOrSelf {
-		for end := range s.ends {
-			if s.eng.testOK(end.Sym, test) {
-				out.ends[end] = true
+		for d, bits := range s.ends {
+			p := bits.And(mask)
+			if p.Any() {
+				out.endsOr(d, p)
 			}
 		}
 	}
@@ -460,59 +747,32 @@ func (s *Set) descendantStep(axis xquery.Axis, test xquery.NodeTest) (*Set, map[
 	// Productivity: an endpoint is productive when a passing node is
 	// forward-reachable (strictly below for descendant; or itself for
 	// descendant-or-self). hasBelow = backward closure of passing.
-	hasBelow := make(map[Node]bool)
-	frontier = frontier[:0]
-	for n := range passing {
-		hasBelow[n] = true
-		frontier = append(frontier, n)
+	hasBelow := passing.clone()
+	for d := len(hasBelow) - 1; d > 0; d-- {
+		if !hasBelow.at(d).Any() {
+			continue
+		}
+		s.eng.budget.Tick()
+		p := out.predsOfSet(d, hasBelow.at(d))
+		if p.Any() {
+			hasBelow.or(d-1, p)
+		}
 	}
-	for len(frontier) > 0 {
-		var next []Node
-		for _, f := range frontier {
-			s.eng.budget.Tick()
-			for _, p := range out.preds(f) {
-				if !hasBelow[p] {
-					hasBelow[p] = true
-					next = append(next, p)
-				}
+	var productive Marks
+	for d, bits := range s.ends {
+		below := hasBelow.at(d + 1)
+		bits.ForEach(func(i int) {
+			sym := dtd.SymID(i)
+			kidsBelow := out.outAt(d, sym).Intersects(below)
+			switch {
+			case axis == xquery.DescendantOrSelf && (mask.Has(i) || kidsBelow):
+				productive.add(d, sym)
+			case axis == xquery.Descendant && kidsBelow:
+				productive.add(d, sym)
 			}
-		}
-		frontier = next
-	}
-	productive := make(map[Node]bool)
-	for end := range s.ends {
-		switch {
-		case axis == xquery.DescendantOrSelf && (s.eng.testOK(end.Sym, test) || childInSet(out, end, hasBelow)):
-			productive[end] = true
-		case axis == xquery.Descendant && childInSet(out, end, hasBelow):
-			productive[end] = true
-		}
+		})
 	}
 	return out.prune(), productive
-}
-
-// childInSet reports whether some child of n belongs to set.
-func childInSet(s *Set, n Node, set map[Node]bool) bool {
-	for to := range s.out[n] {
-		if set[Node{n.Depth + 1, to}] {
-			return true
-		}
-	}
-	return false
-}
-
-func (e *Engine) testOK(sym string, test xquery.NodeTest) bool {
-	switch test.Kind {
-	case xquery.NodeAny:
-		return true
-	case xquery.TextTest:
-		return sym == dtd.StringType
-	case xquery.TagTest:
-		return sym != dtd.StringType && e.D.LabelOf(sym) == test.Tag
-	case xquery.WildcardTest:
-		return sym != dtd.StringType
-	}
-	return false
 }
 
 // growChildren adds schema child edges below n and returns the child
@@ -521,33 +781,11 @@ func (s *Set) growChildren(n Node) []Node {
 	if n.Depth+1 > s.eng.MaxDepth {
 		return nil
 	}
-	kids := s.eng.D.ChildTypes(n.Sym)
+	kids := s.eng.childSyms(n.Sym)
 	out := make([]Node, 0, len(kids))
 	for _, beta := range kids {
-		s.addEdge(n, beta)
+		s.addEdge(n.Depth, n.Sym, beta)
 		out = append(out, Node{n.Depth + 1, beta})
-	}
-	return out
-}
-
-// growDescendants adds the forward schema closure below n (bounded by
-// MaxDepth) and returns every reached node.
-func (s *Set) growDescendants(n Node) []Node {
-	var out []Node
-	seen := map[Node]bool{}
-	frontier := []Node{n}
-	for len(frontier) > 0 {
-		var next []Node
-		for _, f := range frontier {
-			for _, c := range s.growChildren(f) {
-				if !seen[c] {
-					seen[c] = true
-					out = append(out, c)
-					next = append(next, c)
-				}
-			}
-		}
-		frontier = next
 	}
 	return out
 }
@@ -556,45 +794,43 @@ func (s *Set) growDescendants(n Node) []Node {
 // node on a path from a root to n, excluding n.
 func (s *Set) properAncestors(n Node) []Node {
 	var out []Node
-	seen := map[Node]bool{}
-	frontier := []Node{n}
-	for len(frontier) > 0 {
-		var next []Node
-		for _, f := range frontier {
-			s.eng.budget.Tick()
-			for _, p := range s.preds(f) {
-				if !seen[p] {
-					seen[p] = true
-					out = append(out, p)
-					next = append(next, p)
-				}
-			}
-		}
-		frontier = next
+	cur := s.predBits(n)
+	for d := n.Depth - 1; d >= 0 && cur.Any(); d-- {
+		s.eng.budget.Tick()
+		cur.ForEach(func(i int) {
+			out = append(out, Node{d, dtd.SymID(i)})
+		})
+		cur = s.predsOfSet(d, cur)
 	}
 	return out
 }
 
 // growSiblings adds sibling nodes of endpoint end: for each parent
 // node reachable in the context set, the types ordered before/after
-// end's type in that parent's content model.
+// end's type in that parent's content model (<r from the compiled
+// sibling tables).
 func (s *Set) growSiblings(ctx *Set, end Node, preceding bool) []Node {
-	if end.Depth == 0 {
+	if end.Depth == 0 || int(end.Sym) >= s.eng.base {
 		return nil
 	}
 	var out []Node
-	for _, p := range ctx.preds(end) {
-		var sibs []string
+	ctx.predBits(end).ForEach(func(pi int) {
+		if pi >= s.eng.base {
+			return
+		}
+		p := dtd.SymID(pi)
+		var sibs bitset.Set
 		if preceding {
-			sibs = s.eng.D.PrecedingSiblingTypes(p.Sym, end.Sym)
+			sibs = s.eng.C.PrecedingSiblings(p, end.Sym)
 		} else {
-			sibs = s.eng.D.FollowingSiblingTypes(p.Sym, end.Sym)
+			sibs = s.eng.C.FollowingSiblings(p, end.Sym)
 		}
-		for _, beta := range sibs {
-			s.addEdge(p, beta)
+		sibs.ForEach(func(bi int) {
+			beta := dtd.SymID(bi)
+			s.addEdge(end.Depth-1, p, beta)
 			out = append(out, Node{end.Depth, beta})
-		}
-	}
+		})
+	})
 	return out
 }
 
@@ -602,47 +838,64 @@ func (s *Set) growSiblings(ctx *Set, end Node, preceding bool) []Node {
 // ending at n as a prefix: every endpoint lies at depth ≥ n.Depth and
 // every backward path from an endpoint passes through n. Since each
 // root→end path crosses each depth exactly once, it suffices that n is
-// the only depth-n node backward-reachable from the endpoints.
+// the only depth-n symbol backward-reachable from the endpoints.
 func (s *Set) allExtendNode(n Node) bool {
-	for end := range s.ends {
-		if end.Depth < n.Depth {
+	anyEnd := false
+	var seen Marks
+	for d, bits := range s.ends {
+		if !bits.Any() {
+			continue
+		}
+		if d < n.Depth {
 			return false
 		}
+		seen.or(d, bits)
+		anyEnd = true
 	}
-	seen := make(map[Node]bool)
-	var frontier []Node
-	for end := range s.ends {
-		seen[end] = true
-		frontier = append(frontier, end)
+	if !anyEnd {
+		return true
 	}
-	for len(frontier) > 0 {
-		var next []Node
-		for _, f := range frontier {
-			if f.Depth == n.Depth {
-				if f != n {
-					return false
-				}
-				continue // no need to walk above the split point
-			}
-			for _, p := range s.preds(f) {
-				if !seen[p] {
-					seen[p] = true
-					next = append(next, p)
-				}
-			}
+	for d := len(seen) - 1; d > n.Depth; d-- {
+		if !seen.at(d).Any() {
+			continue
 		}
-		frontier = next
+		s.eng.budget.Tick()
+		p := s.predsOfSet(d, seen.at(d))
+		if p.Any() {
+			seen.or(d-1, p)
+		}
 	}
-	return true
+	ok := true
+	seen.at(n.Depth).ForEach(func(i int) {
+		if dtd.SymID(i) != n.Sym {
+			ok = false
+		}
+	})
+	return ok
 }
 
 // Extend returns the set τ̄ = { c.c' | c ∈ s }: s plus the forward
 // schema closure below every endpoint, all of it marked as endpoints.
 func (s *Set) Extend() *Set {
 	out := s.Clone()
-	for end := range s.ends {
-		for _, n := range out.growDescendants(end) {
-			out.ends[n] = true
+	for d := 0; d < len(out.ends) && d < s.eng.MaxDepth; d++ {
+		bits := out.ends[d]
+		if !bits.Any() {
+			continue
+		}
+		s.eng.budget.Tick()
+		var kids bitset.Set
+		bits.ForEach(func(i int) {
+			cs := s.eng.childSet(dtd.SymID(i))
+			if !cs.Any() {
+				return
+			}
+			s.eng.budget.AddNodes(cs.Count())
+			out.outRow(d)[i].Or(cs)
+			kids.Or(cs)
+		})
+		if kids.Any() {
+			out.endsOr(d+1, kids)
 		}
 	}
 	return out
@@ -652,27 +905,29 @@ func (s *Set) Extend() *Set {
 // base, every t edge is copied shifted by base.Depth+1, and t's
 // endpoints become endpoints of the result (added in place to s).
 // Nodes beyond MaxDepth are dropped — such chains exceed every k-chain
-// length.
+// length. Both sets must come from the same engine so interned IDs
+// agree.
 func (s *Set) graft(base Node, t *Set) {
 	off := base.Depth + 1
 	if off > s.eng.MaxDepth {
 		return
 	}
-	for r := range t.roots {
-		s.addEdge(base, r)
-	}
-	for from, tos := range t.out {
-		if off+from.Depth+1 > s.eng.MaxDepth {
+	t.roots.ForEach(func(r int) {
+		s.addEdge(base.Depth, base.Sym, dtd.SymID(r))
+	})
+	for d, row := range t.out {
+		if off+d+1 > s.eng.MaxDepth {
 			continue
 		}
-		sf := Node{off + from.Depth, from.Sym}
-		for to := range tos {
-			s.addEdge(sf, to)
+		for from, bits := range row {
+			if bits.Any() {
+				s.mergeRow(off+d, dtd.SymID(from), bits)
+			}
 		}
 	}
-	for n := range t.ends {
-		if off+n.Depth <= s.eng.MaxDepth {
-			s.ends[Node{off + n.Depth, n.Sym}] = true
+	for d, bits := range t.ends {
+		if off+d <= s.eng.MaxDepth && bits.Any() {
+			s.endsOr(off+d, bits)
 		}
 	}
 }
@@ -681,8 +936,9 @@ func (s *Set) graft(base Node, t *Set) {
 // the element-chain composition a.c of the (ELT) rule.
 func (s *Set) Rebase(tag string) *Set {
 	out := s.eng.NewSet()
-	out.roots[tag] = true
-	out.graft(Node{Depth: 0, Sym: tag}, s)
+	sym := s.eng.internSym(tag)
+	out.roots.Add(int(sym))
+	out.graft(Node{Depth: 0, Sym: sym}, s)
 	return out
 }
 
@@ -690,32 +946,38 @@ func (s *Set) Rebase(tag string) *Set {
 // { sym.c” | c” schema extension of sym } rooted at depth 0 — the
 // suffix α.c' used by (ELT) and by copied-source update chains.
 func (e *Engine) SuffixExtensions(sym string, budget int) *Set {
+	return e.suffixExtensions(e.internSym(sym), budget)
+}
+
+// suffixExtensions is SuffixExtensions over an interned symbol. The
+// whole closure is one ascending sweep of the endpoint rows: every
+// reached node is an endpoint, so the frontier at depth d is exactly
+// ends[d].
+func (e *Engine) suffixExtensions(sym dtd.SymID, budget int) *Set {
 	out := e.NewSet()
-	out.roots[sym] = true
-	root := Node{0, sym}
-	out.ends[root] = true
+	out.roots.Add(int(sym))
+	out.addEnd(0, sym)
 	if budget > e.MaxDepth {
 		budget = e.MaxDepth
 	}
-	seen := map[Node]bool{root: true}
-	frontier := []Node{root}
-	for len(frontier) > 0 {
-		var next []Node
-		for _, f := range frontier {
-			if f.Depth+1 > budget {
-				continue
-			}
-			for _, beta := range e.D.ChildTypes(f.Sym) {
-				out.addEdge(f, beta)
-				n := Node{f.Depth + 1, beta}
-				if !seen[n] {
-					seen[n] = true
-					out.ends[n] = true
-					next = append(next, n)
-				}
-			}
+	for d := 0; d < len(out.ends) && d < budget; d++ {
+		bits := out.ends[d]
+		if !bits.Any() {
+			continue
 		}
-		frontier = next
+		var kids bitset.Set
+		bits.ForEach(func(i int) {
+			cs := e.childSet(dtd.SymID(i))
+			if !cs.Any() {
+				return
+			}
+			e.budget.AddNodes(cs.Count())
+			out.outRow(d)[i].Or(cs)
+			kids.Or(cs)
+		})
+		if kids.Any() {
+			out.endsOr(d+1, kids)
+		}
 	}
 	return out
 }
@@ -726,28 +988,28 @@ func (e *Engine) SuffixExtensions(sym string, budget int) *Set {
 func (s *Set) Chains(limit int) []chain.Chain {
 	var out []chain.Chain
 	var path []string
-	var rec func(n Node)
-	rec = func(n Node) {
+	var rec func(d int, sym dtd.SymID)
+	rec = func(d int, sym dtd.SymID) {
 		if limit > 0 && len(out) >= limit {
 			return
 		}
 		s.eng.budget.Tick()
-		path = append(path, n.Sym)
-		if s.ends[n] {
+		path = append(path, s.eng.symName(sym))
+		if s.isEnd(d, sym) {
 			out = append(out, chain.New(append([]string(nil), path...)...))
 		}
-		for _, c := range s.succs(n) {
-			rec(c)
-		}
+		s.outAt(d, sym).ForEach(func(to int) {
+			rec(d+1, dtd.SymID(to))
+		})
 		path = path[:len(path)-1]
 	}
-	var roots []string
-	for r := range s.roots {
-		roots = append(roots, r)
-	}
-	sort.Strings(roots)
+	var roots []dtd.SymID
+	s.roots.ForEach(func(r int) { roots = append(roots, dtd.SymID(r)) })
+	sort.Slice(roots, func(i, j int) bool {
+		return s.eng.symName(roots[i]) < s.eng.symName(roots[j])
+	})
 	for _, r := range roots {
-		rec(Node{0, r})
+		rec(0, r)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out

@@ -5,6 +5,7 @@
 package chain
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 )
@@ -20,12 +21,31 @@ type Chain []string
 func New(syms ...string) Chain { return Chain(syms) }
 
 // ParseChain parses the dotted notation "doc.a.c". An empty string is
-// the empty chain.
-func ParseChain(s string) Chain {
+// the empty chain. Input spelling an empty symbol — consecutive,
+// leading or trailing dots — is malformed and rejected: silently
+// producing a chain with "" symbols would corrupt prefix comparisons
+// (every chain would appear to extend "a."-style prefixes).
+func ParseChain(s string) (Chain, error) {
 	if s == "" {
-		return nil
+		return nil, nil
 	}
-	return Chain(strings.Split(s, "."))
+	parts := strings.Split(s, ".")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("chain: malformed %q: empty symbol", s)
+		}
+	}
+	return Chain(parts), nil
+}
+
+// MustParseChain is ParseChain for known-good literals (tests,
+// fixtures); it panics on malformed input.
+func MustParseChain(s string) Chain {
+	c, err := ParseChain(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // String renders the chain in the paper's dotted notation.
@@ -128,10 +148,29 @@ func NewUpdate(target, change Chain) UpdateChain {
 	return UpdateChain{Target: target.Clone(), Change: change.Clone()}
 }
 
-// ParseUpdateChain parses "doc.a:b.c" notation.
-func ParseUpdateChain(s string) UpdateChain {
+// ParseUpdateChain parses "doc.a:b.c" notation, rejecting empty
+// symbols in either component under the same rule as ParseChain.
+func ParseUpdateChain(s string) (UpdateChain, error) {
 	t, c, _ := strings.Cut(s, ":")
-	return UpdateChain{Target: ParseChain(t), Change: ParseChain(c)}
+	tc, err := ParseChain(t)
+	if err != nil {
+		return UpdateChain{}, err
+	}
+	cc, err := ParseChain(c)
+	if err != nil {
+		return UpdateChain{}, err
+	}
+	return UpdateChain{Target: tc, Change: cc}, nil
+}
+
+// MustParseUpdateChain is ParseUpdateChain for known-good literals; it
+// panics on malformed input.
+func MustParseUpdateChain(s string) UpdateChain {
+	u, err := ParseUpdateChain(s)
+	if err != nil {
+		panic(err)
+	}
+	return u
 }
 
 // Full returns the concatenation c.c' — the chain typing the deepest

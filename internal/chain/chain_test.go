@@ -10,7 +10,7 @@ import (
 func TestParseAndString(t *testing.T) {
 	cases := []string{"", "doc", "doc.a.c", "bib.book.title"}
 	for _, s := range cases {
-		if got := ParseChain(s).String(); got != s {
+		if got := MustParseChain(s).String(); got != s {
 			t.Errorf("round trip %q -> %q", s, got)
 		}
 	}
@@ -21,7 +21,7 @@ func TestParseAndString(t *testing.T) {
 	if c.Parent().String() != "doc.a" {
 		t.Errorf("Parent = %v", c.Parent())
 	}
-	if !ParseChain("").IsEmpty() || c.IsEmpty() {
+	if !MustParseChain("").IsEmpty() || c.IsEmpty() {
 		t.Errorf("IsEmpty wrong")
 	}
 }
@@ -57,7 +57,7 @@ func TestPrefix(t *testing.T) {
 		{"bib.book.author", "bib.book.title", false},
 	}
 	for _, c := range cases {
-		if got := ParseChain(c.a).IsPrefixOf(ParseChain(c.b)); got != c.want {
+		if got := MustParseChain(c.a).IsPrefixOf(MustParseChain(c.b)); got != c.want {
 			t.Errorf("IsPrefixOf(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
 		}
 	}
@@ -90,7 +90,7 @@ func TestPrefixPartialOrder(t *testing.T) {
 }
 
 func TestTagCountsAndKChains(t *testing.T) {
-	c := ParseChain("r.a.b.f.a.c.f.a.e")
+	c := MustParseChain("r.a.b.f.a.c.f.a.e")
 	counts := c.TagCounts()
 	if counts["a"] != 3 || counts["f"] != 2 || counts["r"] != 1 {
 		t.Errorf("TagCounts = %v", counts)
@@ -101,13 +101,13 @@ func TestTagCountsAndKChains(t *testing.T) {
 	if c.IsKChain(2) || !c.IsKChain(3) {
 		t.Errorf("IsKChain wrong")
 	}
-	if ParseChain("").MaxTagCount() != 0 {
+	if MustParseChain("").MaxTagCount() != 0 {
 		t.Errorf("empty chain max count")
 	}
 }
 
 func TestUpdateChain(t *testing.T) {
-	u := ParseUpdateChain("bib.book:author.first")
+	u := MustParseUpdateChain("bib.book:author.first")
 	if u.Target.String() != "bib.book" || u.Change.String() != "author.first" {
 		t.Errorf("parse wrong: %v", u)
 	}
@@ -120,29 +120,29 @@ func TestUpdateChain(t *testing.T) {
 	if !u.Equal(NewUpdate(New("bib", "book"), New("author", "first"))) {
 		t.Errorf("Equal broken")
 	}
-	if u.Equal(ParseUpdateChain("bib.book:author")) {
+	if u.Equal(MustParseUpdateChain("bib.book:author")) {
 		t.Errorf("Equal too lax")
 	}
 }
 
 func TestSet(t *testing.T) {
-	s := NewSet(ParseChain("doc.a"), ParseChain("doc.b"), ParseChain("doc.a"))
+	s := NewSet(MustParseChain("doc.a"), MustParseChain("doc.b"), MustParseChain("doc.a"))
 	if s.Len() != 2 {
 		t.Errorf("Len = %d, want 2 (dedup)", s.Len())
 	}
-	if !s.Contains(ParseChain("doc.a")) || s.Contains(ParseChain("doc.c")) {
+	if !s.Contains(MustParseChain("doc.a")) || s.Contains(MustParseChain("doc.c")) {
 		t.Errorf("Contains wrong")
 	}
 	if got := s.Strings(); !reflect.DeepEqual(got, []string{"doc.a", "doc.b"}) {
 		t.Errorf("Strings = %v", got)
 	}
-	s2 := NewSet(ParseChain("doc.c"))
+	s2 := NewSet(MustParseChain("doc.c"))
 	u := Union(s, s2)
 	if u.Len() != 3 {
 		t.Errorf("Union len = %d", u.Len())
 	}
 	f := u.Filter(func(c Chain) bool { return c.Last() == "a" })
-	if f.Len() != 1 || !f.Contains(ParseChain("doc.a")) {
+	if f.Len() != 1 || !f.Contains(MustParseChain("doc.a")) {
 		t.Errorf("Filter = %v", f)
 	}
 	if u.String() != "{doc.a, doc.b, doc.c}" {
@@ -152,12 +152,12 @@ func TestSet(t *testing.T) {
 	if zero.Len() != 0 || !zero.IsEmpty() {
 		t.Errorf("zero Set not empty")
 	}
-	zero.Add(ParseChain("x"))
+	zero.Add(MustParseChain("x"))
 	if zero.Len() != 1 {
 		t.Errorf("zero Set Add failed")
 	}
 	var nilSet *Set
-	if nilSet.Len() != 0 || nilSet.Contains(ParseChain("x")) || nilSet.Chains() != nil {
+	if nilSet.Len() != 0 || nilSet.Contains(MustParseChain("x")) || nilSet.Chains() != nil {
 		t.Errorf("nil Set accessors broken")
 	}
 }
@@ -175,20 +175,20 @@ func TestSetAddCopies(t *testing.T) {
 func TestConflictsPaperExamples(t *testing.T) {
 	// q1 = //a//c, u1 = delete //b//c over {doc<-(a|b)*, a<-c, b<-c}:
 	// chains doc.a.c vs doc.b.c are disjoint -> no conflict.
-	q1 := NewSet(ParseChain("doc.a.c"))
-	u1 := NewSet(ParseChain("doc.b.c"))
+	q1 := NewSet(MustParseChain("doc.a.c"))
+	u1 := NewSet(MustParseChain("doc.b.c"))
 	if HasConflict(q1, u1) || HasConflict(u1, q1) {
 		t.Errorf("q1/u1 should not conflict")
 	}
 	// q2 = //title, u2 inserts author into book:
 	// bib.book.title vs bib.book.author diverge after book.
-	q2 := NewSet(ParseChain("bib.book.title"))
-	u2 := NewSet(ParseUpdateChain("bib.book:author").Full())
+	q2 := NewSet(MustParseChain("bib.book.title"))
+	u2 := NewSet(MustParseUpdateChain("bib.book:author").Full())
 	if HasConflict(q2, u2) || HasConflict(u2, q2) {
 		t.Errorf("q2/u2 should not conflict")
 	}
 	// But an update deleting book conflicts with q2.
-	u3 := NewSet(ParseUpdateChain("bib:book").Full())
+	u3 := NewSet(MustParseUpdateChain("bib:book").Full())
 	if !HasConflict(u3, q2) {
 		t.Errorf("delete //book must conflict with //title")
 	}
@@ -235,7 +235,7 @@ var d1Recursive = map[string]bool{"a": true, "b": true, "c": true, "e": true, "f
 
 func TestFoldSteps(t *testing.T) {
 	// r.a.b.f.a.c  folds on the two a's to r.a.c.
-	c := ParseChain("r.a.b.f.a.c")
+	c := MustParseChain("r.a.b.f.a.c")
 	steps := FoldSteps(c, d1Recursive)
 	found := false
 	for _, f := range steps {
@@ -247,7 +247,7 @@ func TestFoldSteps(t *testing.T) {
 		t.Errorf("expected fold r.a.c, got %v", steps)
 	}
 	// Non-recursive tags never fold.
-	if got := FoldSteps(ParseChain("r.g.r.g"), map[string]bool{}); len(got) != 0 {
+	if got := FoldSteps(MustParseChain("r.g.r.g"), map[string]bool{}); len(got) != 0 {
 		t.Errorf("folding on non-recursive tags: %v", got)
 	}
 }
@@ -256,7 +256,7 @@ func TestFoldSteps(t *testing.T) {
 // for Section 5's path example is a 3-chain that folds to smaller k
 // only when k permits.
 func TestFoldingReducesToK(t *testing.T) {
-	c := ParseChain("r.a.b.f.a.c.f.a.e")
+	c := MustParseChain("r.a.b.f.a.c.f.a.e")
 	f2 := FoldToK(c, d1Recursive, 2)
 	if f2 == nil || !f2.IsKChain(2) {
 		t.Fatalf("FoldToK(2) = %v", f2)
@@ -269,12 +269,12 @@ func TestFoldingReducesToK(t *testing.T) {
 		t.Fatalf("FoldToK(1) = %v", f1)
 	}
 	// Already a k-chain: returned unchanged.
-	small := ParseChain("r.a.b")
+	small := MustParseChain("r.a.b")
 	if got := FoldToK(small, d1Recursive, 1); !got.Equal(small) {
 		t.Errorf("FoldToK on k-chain = %v", got)
 	}
 	// Impossible fold: over-multiplied tag is not recursive.
-	bad := ParseChain("x.g.g.g")
+	bad := MustParseChain("x.g.g.g")
 	if got := FoldToK(bad, d1Recursive, 1); got != nil {
 		t.Errorf("expected nil, got %v", got)
 	}

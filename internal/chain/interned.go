@@ -1,0 +1,89 @@
+package chain
+
+import "xqindep/internal/dtd"
+
+// Interned is a chain over the dense symbol IDs of one compiled
+// schema — the representation the CDAG engine's tables are indexed
+// by. Comparing interned chains is integer-wise (no string hashing),
+// which is what makes bulk prefix probes over large chain sets cheap;
+// the string Chain remains the canonical interchange and display
+// form. An Interned chain is only meaningful against the Compiled
+// artifact whose IDs it carries.
+type Interned []dtd.SymID
+
+// Intern resolves every symbol of c against the compiled schema. The
+// second result is false when some symbol is not part of Σ (e.g. a
+// constructed tag), in which case no interned form exists.
+func Intern(c Chain, comp *dtd.Compiled) (Interned, bool) {
+	if len(c) == 0 {
+		return nil, true
+	}
+	out := make(Interned, len(c))
+	for i, name := range c {
+		s, ok := comp.SymOf(name)
+		if !ok {
+			return nil, false
+		}
+		out[i] = s
+	}
+	return out, true
+}
+
+// Names maps the interned chain back to its string form.
+func (c Interned) Names(comp *dtd.Compiled) Chain {
+	if len(c) == 0 {
+		return nil
+	}
+	out := make(Chain, len(c))
+	for i, s := range c {
+		out[i] = comp.NameOf(s)
+	}
+	return out
+}
+
+// Len returns the number of symbols.
+func (c Interned) Len() int { return len(c) }
+
+// IsEmpty reports whether c is the empty chain.
+func (c Interned) IsEmpty() bool { return len(c) == 0 }
+
+// Last returns the final symbol; it panics on the empty chain.
+func (c Interned) Last() dtd.SymID { return c[len(c)-1] }
+
+// Equal reports symbol-wise equality.
+func (c Interned) Equal(d Interned) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPrefixOf reports c ⪯ d over interned symbols.
+func (c Interned) IsPrefixOf(d Interned) bool {
+	if len(c) > len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether consecutive symbols are related by ⇒d — the
+// Definition 2.1 side condition, checkable in O(n) bitset probes
+// against the compiled successor tables.
+func (c Interned) Valid(comp *dtd.Compiled) bool {
+	for i := 0; i+1 < len(c); i++ {
+		if !comp.ChildSet(c[i]).Has(int(c[i+1])) {
+			return false
+		}
+	}
+	return true
+}

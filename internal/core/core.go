@@ -127,10 +127,22 @@ type Options struct {
 // w.r.t. one schema.
 type Analyzer struct {
 	D *dtd.DTD
+	// C is the compiled schema, resolved once through the shared
+	// fingerprint-keyed cache; every analysis on this analyzer reuses
+	// it. When compilation fails (alphabet beyond the SymID range) C is
+	// nil and compileErr records why; since that error wraps
+	// guard.ErrBudgetExceeded, the chain rungs report it as a budget
+	// overrun and the ladder degrades to the type/path analyses, which
+	// need no dense alphabet.
+	C          *dtd.Compiled
+	compileErr error
 }
 
 // NewAnalyzer builds an analyzer for the schema.
-func NewAnalyzer(d *dtd.DTD) *Analyzer { return &Analyzer{D: d} }
+func NewAnalyzer(d *dtd.DTD) *Analyzer {
+	c, err := dtd.Compile(d)
+	return &Analyzer{D: d, C: c, compileErr: err}
+}
 
 // check verifies the pair is quasi-closed (only the root variable
 // free), the form the whole calculus is stated for.
@@ -231,7 +243,10 @@ func (a *Analyzer) analyzeOnce(ctx context.Context, m Method, q xquery.Query, u 
 		if err := b.CheckK(k); err != nil {
 			return Result{}, err
 		}
-		v := cdag.IndependenceBudget(a.D, q, u, b)
+		if a.C == nil {
+			return Result{}, fmt.Errorf("core: schema compilation failed: %w", a.compileErr)
+		}
+		v := cdag.IndependenceBudgetCompiled(a.C, q, u, b)
 		res.Independent = v.Independent
 		res.K = v.K
 		res.Witnesses = v.Reasons

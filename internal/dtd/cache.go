@@ -1,0 +1,121 @@
+package dtd
+
+import (
+	"sort"
+	"sync"
+)
+
+// CompileCache is a bounded, fingerprint-keyed cache of Compiled
+// schemas. The analysis layers share one immutable artifact per
+// schema across concurrent requests: Get compiles at most once per
+// fingerprint (modulo a benign race where two first requests compile
+// concurrently and one result wins) and evicts arbitrarily at
+// capacity, mirroring the serving layer's schema-text cache.
+type CompileCache struct {
+	mu        sync.Mutex
+	max       int
+	m         map[string]*Compiled
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// NewCompileCache returns a cache holding at most max schemas
+// (minimum 1).
+func NewCompileCache(max int) *CompileCache {
+	if max < 1 {
+		max = 1
+	}
+	return &CompileCache{max: max, m: make(map[string]*Compiled)}
+}
+
+// Get returns the compiled artifact for d, compiling and caching it
+// on first sight of the fingerprint. Compilation runs outside the
+// lock so a slow compile never blocks hits on other schemas.
+func (cc *CompileCache) Get(d *DTD) (*Compiled, error) {
+	fp := d.Fingerprint()
+	cc.mu.Lock()
+	if c := cc.m[fp]; c != nil {
+		cc.hits++
+		cc.mu.Unlock()
+		return c, nil
+	}
+	cc.misses++
+	cc.mu.Unlock()
+
+	c, err := NewCompiled(d)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if prev := cc.m[fp]; prev != nil {
+		// Lost a compile race; keep the resident artifact so every
+		// caller shares one instance.
+		return prev, nil
+	}
+	if len(cc.m) >= cc.max {
+		for k := range cc.m {
+			delete(cc.m, k)
+			cc.evictions++
+			break
+		}
+	}
+	cc.m[fp] = c
+	return c, nil
+}
+
+// CacheStats is a point-in-time snapshot of a CompileCache, exposed
+// by the daemon's /statz endpoint.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Resident  int64 `json:"resident"`
+	// Schemas describes each resident compiled schema, sorted by
+	// fingerprint.
+	Schemas []SchemaStat `json:"schemas,omitempty"`
+}
+
+// SchemaStat summarises one resident compiled schema.
+type SchemaStat struct {
+	Fingerprint string `json:"fingerprint"`
+	Types       int    `json:"types"`
+	Recursive   bool   `json:"recursive"`
+}
+
+// Stats returns a snapshot of the cache counters and residents.
+func (cc *CompileCache) Stats() CacheStats {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	st := CacheStats{
+		Hits:      cc.hits,
+		Misses:    cc.misses,
+		Evictions: cc.evictions,
+		Resident:  int64(len(cc.m)),
+	}
+	for fp, c := range cc.m {
+		st.Schemas = append(st.Schemas, SchemaStat{
+			Fingerprint: fp,
+			Types:       len(c.d.Types),
+			Recursive:   c.recCount > 0,
+		})
+	}
+	sort.Slice(st.Schemas, func(i, j int) bool {
+		return st.Schemas[i].Fingerprint < st.Schemas[j].Fingerprint
+	})
+	return st
+}
+
+// defaultCache is the process-wide compilation cache shared by core,
+// the server pool and the CLIs.
+var defaultCache = NewCompileCache(256)
+
+// Compile returns the cached compiled artifact for d, compiling on
+// first use. This is the construction path production code should
+// use; the xqvet compilecache check flags ad-hoc NewCompiled calls in
+// the serving layers.
+func Compile(d *DTD) (*Compiled, error) { return defaultCache.Get(d) }
+
+// CompileCacheStats snapshots the process-wide compilation cache.
+func CompileCacheStats() CacheStats { return defaultCache.Stats() }

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"xqindep/internal/cdag"
+	"xqindep/internal/refcdag"
+	"xqindep/internal/xmark"
+)
+
+// The compiled-schema benchmark pits the dense engine (internal/cdag
+// over a dtd.Compiled artifact) against the retained map-based
+// reference (internal/refcdag) on one XMark pair, phase by phase:
+// chain-DAG inference from scratch, and the isolated conflict-check
+// step on prebuilt DAGs. cmd/xqbench -compiled-bench renders it and
+// writes BENCH_compiledschema.json; the same measurement is available
+// as BenchmarkCompiledVsReference in the repository root.
+
+// BenchSample is one measured engine/phase cell.
+type BenchSample struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// BenchPhase compares the two engines on one phase. Speedup is
+// reference-ns over dense-ns; AllocRatio is reference-allocs over
+// dense-allocs (higher = dense better, for both).
+type BenchPhase struct {
+	Reference  BenchSample `json:"reference"`
+	Dense      BenchSample `json:"dense"`
+	Speedup    float64     `json:"speedup"`
+	AllocRatio float64     `json:"alloc_ratio"`
+}
+
+// CompiledBench is the full comparison for one view/update pair.
+type CompiledBench struct {
+	View     string     `json:"view"`
+	Update   string     `json:"update"`
+	Infer    BenchPhase `json:"infer"`
+	Conflict BenchPhase `json:"conflict"`
+}
+
+func sample(r testing.BenchmarkResult) BenchSample {
+	return BenchSample{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func phase(ref, dense testing.BenchmarkResult) BenchPhase {
+	p := BenchPhase{Reference: sample(ref), Dense: sample(dense)}
+	if p.Dense.NsPerOp > 0 {
+		p.Speedup = float64(p.Reference.NsPerOp) / float64(p.Dense.NsPerOp)
+	}
+	if p.Dense.AllocsPerOp > 0 {
+		p.AllocRatio = float64(p.Reference.AllocsPerOp) / float64(p.Dense.AllocsPerOp)
+	}
+	return p
+}
+
+// MeasureCompiledBench runs the four benchmarks for the named XMark
+// pair via testing.Benchmark.
+func MeasureCompiledBench(view, update string) (CompiledBench, error) {
+	d := xmark.Schema()
+	v, ok := xmark.ViewByName(view)
+	if !ok {
+		return CompiledBench{}, fmt.Errorf("unknown view %q", view)
+	}
+	u, ok := xmark.UpdateByName(update)
+	if !ok {
+		return CompiledBench{}, fmt.Errorf("unknown update %q", update)
+	}
+
+	inferRef := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := refcdag.EngineFor(d, v.AST, u.AST)
+			e.Query(e.RootEnv(), v.AST)
+			e.Update(e.RootEnv(), u.AST)
+		}
+	})
+	inferDense := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := cdag.EngineFor(d, v.AST, u.AST)
+			e.Query(e.RootEnv(), v.AST)
+			e.Update(e.RootEnv(), u.AST)
+		}
+	})
+
+	re := refcdag.EngineFor(d, v.AST, u.AST)
+	rq := re.Query(re.RootEnv(), v.AST)
+	ru := re.Update(re.RootEnv(), u.AST)
+	conflictRef := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			refcdag.ConflictRetUpdate(rq.Ret, ru)
+			refcdag.ConflictUpdateRet(ru, rq.Ret)
+			refcdag.ConflictUpdateUsed(ru, rq.Used)
+		}
+	})
+	de := cdag.EngineFor(d, v.AST, u.AST)
+	dq := de.Query(de.RootEnv(), v.AST)
+	du := de.Update(de.RootEnv(), u.AST)
+	conflictDense := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cdag.ConflictRetUpdate(dq.Ret, du)
+			cdag.ConflictUpdateRet(du, dq.Ret)
+			cdag.ConflictUpdateUsed(du, dq.Used)
+		}
+	})
+
+	return CompiledBench{
+		View:     view,
+		Update:   update,
+		Infer:    phase(inferRef, inferDense),
+		Conflict: phase(conflictRef, conflictDense),
+	}, nil
+}
+
+// RenderCompiledBench renders the comparison as a small table.
+func RenderCompiledBench(cb CompiledBench) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Compiled-schema engine vs map reference (%s × %s)\n", cb.View, cb.Update)
+	fmt.Fprintf(&b, "%-10s %14s %14s %8s %14s %14s %8s\n",
+		"phase", "ref ns/op", "dense ns/op", "speedup", "ref allocs", "dense allocs", "ratio")
+	row := func(name string, p BenchPhase) {
+		fmt.Fprintf(&b, "%-10s %14d %14d %7.1fx %14d %14d %7.1fx\n",
+			name, p.Reference.NsPerOp, p.Dense.NsPerOp, p.Speedup,
+			p.Reference.AllocsPerOp, p.Dense.AllocsPerOp, p.AllocRatio)
+	}
+	row("infer", cb.Infer)
+	row("conflict", cb.Conflict)
+	return b.String()
+}

@@ -60,7 +60,7 @@ func TestStepChainsFigure1(t *testing.T) {
 	// Descendant closure.
 	desc := chain.NewSet(in.AC(root, xquery.Descendant)...)
 	for _, w := range []string{"doc.a", "doc.b", "doc.a.c", "doc.b.c"} {
-		if !desc.Contains(chain.ParseChain(w)) {
+		if !desc.Contains(chain.MustParseChain(w)) {
 			t.Errorf("descendant chains missing %s (got %v)", w, desc)
 		}
 	}
@@ -68,7 +68,7 @@ func TestStepChainsFigure1(t *testing.T) {
 		t.Errorf("descendant chains = %v", desc)
 	}
 	// Upward.
-	c := chain.ParseChain("doc.a.c")
+	c := chain.MustParseChain("doc.a.c")
 	if got := in.AC(c, xquery.Parent); len(got) != 1 || got[0].String() != "doc.a" {
 		t.Errorf("parent = %v", got)
 	}
@@ -87,7 +87,7 @@ func TestSiblingChains(t *testing.T) {
 	// DTD d = {a ← (b+, c*)} from Section 3.2's (STEPUH) example.
 	d := dtd.MustParse("a <- b+, c*\nb <- ()\nc <- ()")
 	in := New(d, 1)
-	b := chain.ParseChain("a.b")
+	b := chain.MustParseChain("a.b")
 	var got []string
 	for _, c := range in.AC(b, xquery.FollowingSibling) {
 		got = append(got, c.String())
@@ -95,7 +95,7 @@ func TestSiblingChains(t *testing.T) {
 	if !reflect.DeepEqual(got, []string{"a.b", "a.c"}) {
 		t.Errorf("following siblings of a.b = %v", got)
 	}
-	cC := chain.ParseChain("a.c")
+	cC := chain.MustParseChain("a.c")
 	got = nil
 	for _, c := range in.AC(cC, xquery.PrecedingSibling) {
 		got = append(got, c.String())
@@ -104,7 +104,7 @@ func TestSiblingChains(t *testing.T) {
 		t.Errorf("preceding siblings of a.c = %v", got)
 	}
 	// Root has no siblings.
-	if got := in.AC(chain.ParseChain("a"), xquery.FollowingSibling); got != nil {
+	if got := in.AC(chain.MustParseChain("a"), xquery.FollowingSibling); got != nil {
 		t.Errorf("root siblings = %v", got)
 	}
 }
@@ -119,7 +119,7 @@ func TestStepUHUsedChains(t *testing.T) {
 	if !reflect.DeepEqual(qc.Ret.Strings(), []string{"a.c"}) {
 		t.Errorf("return = %v", qc.Ret)
 	}
-	if !qc.Used.Contains(chain.ParseChain("a.b")) {
+	if !qc.Used.Contains(chain.MustParseChain("a.b")) {
 		t.Errorf("used = %v, want a.b", qc.Used)
 	}
 }
@@ -173,13 +173,13 @@ func TestElementChainExample(t *testing.T) {
 	in := New(d, 2)
 	q := xquery.MustParseQuery("for $x in /root return <r1>{($x/a, <r2>{$x/b}</r2>)}</r1>")
 	qc := in.Query(in.RootEnv(), q)
-	if !qc.Elem.Contains(chain.ParseChain("r1.a")) {
+	if !qc.Elem.Contains(chain.MustParseChain("r1.a")) {
 		t.Errorf("element chains missing r1.a: %v", qc.Elem)
 	}
-	if !qc.Elem.Contains(chain.ParseChain("r1.r2.b")) {
+	if !qc.Elem.Contains(chain.MustParseChain("r1.r2.b")) {
 		t.Errorf("element chains missing r1.r2.b: %v", qc.Elem)
 	}
-	if qc.Elem.Contains(chain.ParseChain("r1.b")) {
+	if qc.Elem.Contains(chain.MustParseChain("r1.b")) {
 		t.Errorf("wrong element chain r1.b produced: %v", qc.Elem)
 	}
 	// Return chains of an element query are empty; content chains
@@ -187,7 +187,7 @@ func TestElementChainExample(t *testing.T) {
 	if qc.Ret.Len() != 0 {
 		t.Errorf("element query has return chains: %v", qc.Ret)
 	}
-	if !qc.Used.Contains(chain.ParseChain("root.a")) || !qc.Used.Contains(chain.ParseChain("root.b")) {
+	if !qc.Used.Contains(chain.MustParseChain("root.a")) || !qc.Used.Contains(chain.MustParseChain("root.b")) {
 		t.Errorf("used chains = %v", qc.Used)
 	}
 }
@@ -401,7 +401,7 @@ func TestLetAndIfChains(t *testing.T) {
 	}
 	// let converts r1 to used; the if-condition return chains are used.
 	for _, w := range []string{"bib.book", "bib.book.price"} {
-		if !qc.Used.Contains(chain.ParseChain(w)) {
+		if !qc.Used.Contains(chain.MustParseChain(w)) {
 			t.Errorf("used missing %s: %v", w, qc.Used)
 		}
 	}
@@ -443,7 +443,7 @@ first <- #PCDATA
 }
 
 func TestUpdateSetBasics(t *testing.T) {
-	s := NewUpdateSet(chain.ParseUpdateChain("a:b"), chain.ParseUpdateChain("a:b"), chain.ParseUpdateChain("a:c"))
+	s := NewUpdateSet(chain.MustParseUpdateChain("a:b"), chain.MustParseUpdateChain("a:b"), chain.MustParseUpdateChain("a:c"))
 	if s.Len() != 2 {
 		t.Errorf("Len = %d", s.Len())
 	}
@@ -451,7 +451,7 @@ func TestUpdateSetBasics(t *testing.T) {
 		t.Errorf("Strings = %v", s.Strings())
 	}
 	full := s.FullChains()
-	if !full.Contains(chain.ParseChain("a.b")) || !full.Contains(chain.ParseChain("a.c")) {
+	if !full.Contains(chain.MustParseChain("a.b")) || !full.Contains(chain.MustParseChain("a.c")) {
 		t.Errorf("FullChains = %v", full)
 	}
 }

@@ -1,10 +1,8 @@
-package cdag
+package refcdag
 
 import (
 	"fmt"
-	mathbits "math/bits"
 
-	"xqindep/internal/bitset"
 	"xqindep/internal/dtd"
 	"xqindep/internal/guard"
 	"xqindep/internal/infer"
@@ -13,94 +11,82 @@ import (
 
 // commonNodes returns the nodes reachable from shared roots by edges
 // present in both DAGs — the nodes n such that some common path spells
-// a shared chain prefix ending at n. The walk is one descending sweep:
-// common nodes at depth d+1 are the union over common symbols α at
-// depth d of out_a[d][α] ∧ out_b[d][α].
-func commonNodes(a, b *Set) Marks {
-	if !a.roots.Intersects(b.roots) {
-		return nil
-	}
-	maxd := len(a.out)
-	if len(b.out) < maxd {
-		maxd = len(b.out)
-	}
-	seen := a.eng.newMarks(maxd + 1)
-	seen[0].OrAnd(a.roots, b.roots)
-	for d := 0; d < maxd; d++ {
-		cur := seen[d]
-		if !cur.Any() {
-			break
+// a shared chain prefix ending at n.
+func commonNodes(a, b *Set) map[Node]bool {
+	seen := make(map[Node]bool)
+	var frontier []Node
+	for r := range a.roots {
+		if b.roots[r] {
+			n := Node{0, r}
+			seen[n] = true
+			frontier = append(frontier, n)
 		}
-		// Word-wise iteration, no closure: this and endReach are the
-		// only loops on the per-check path.
-		for w, word := range cur {
-			for word != 0 {
-				f := dtd.SymID(w*64 + mathbits.TrailingZeros64(word))
-				word &= word - 1
-				a.eng.budget.Tick()
-				seen[d+1].OrAnd(a.outAt(d, f), b.outAt(d, f))
+	}
+	for len(frontier) > 0 {
+		var next []Node
+		for _, f := range frontier {
+			a.eng.budget.Tick()
+			for to := range a.out[f] {
+				if !b.hasEdge(f, to) {
+					continue
+				}
+				n := Node{f.Depth + 1, to}
+				if !seen[n] {
+					seen[n] = true
+					next = append(next, n)
+				}
 			}
 		}
+		frontier = next
 	}
 	return seen
 }
 
-// endReach returns, per depth, the symbols from which some endpoint of
-// s is forward-reachable within s's edges (zero-length paths count):
-// back[d] = ends[d] ∪ {α : out[d][α] ∩ back[d+1] ≠ ∅}. One descending
-// sweep answers every "does an end survive below this node?" probe the
-// conflict checks make, replacing a forward walk per candidate node.
-func (s *Set) endReach() Marks {
-	maxd := len(s.out)
-	if len(s.ends)-1 > maxd {
-		maxd = len(s.ends) - 1
+// reachesEnd reports whether some endpoint of s is forward-reachable
+// from n within s's edges (zero-length paths count).
+func (s *Set) reachesEnd(n Node) bool {
+	if s.ends[n] {
+		return true
 	}
-	back := s.eng.newMarks(maxd + 1)
-	for d := maxd; d >= 0; d-- {
-		s.eng.budget.Tick()
-		back[d].Or(s.endsAt(d))
-		if d >= len(s.out) {
-			continue
-		}
-		below := back[d+1]
-		if !below.Any() {
-			continue
-		}
-		for f, bits := range s.out[d] {
-			if bits.Intersects(below) {
-				back[d].Add(f)
+	seen := map[Node]bool{n: true}
+	frontier := []Node{n}
+	for len(frontier) > 0 {
+		var next []Node
+		for _, f := range frontier {
+			s.eng.budget.Tick()
+			for _, c := range s.succs(f) {
+				if s.ends[c] {
+					return true
+				}
+				if !seen[c] {
+					seen[c] = true
+					next = append(next, c)
+				}
 			}
 		}
+		frontier = next
 	}
-	return back
+	return false
 }
 
 // ConflictRetUpdate decides confl(r, U) over DAGs: some return chain
 // is a prefix of some full update chain.
 func ConflictRetUpdate(r *Set, u *UpdateSet) bool {
-	return prefixConflict(r, u.Full)
+	common := commonNodes(r, u.Full)
+	for n := range r.ends {
+		if common[n] && u.Full.reachesEnd(n) {
+			return true
+		}
+	}
+	return false
 }
 
 // ConflictUpdateRet decides confl(U, r): some full update chain is a
 // prefix of some return chain.
 func ConflictUpdateRet(u *UpdateSet, r *Set) bool {
-	return prefixConflict(u.Full, r)
-}
-
-// prefixConflict reports whether some chain of a is a prefix of some
-// chain of b (Definition 4.1 specialised to one direction): an a-end
-// sits on a common prefix and some b-end is reachable at or below it.
-// With b's ends-reachability precomputed, every depth is answered by
-// one three-way word-wise intersection — the whole check allocates
-// only the two Marks sweeps.
-func prefixConflict(a, b *Set) bool {
-	common := commonNodes(a, b)
-	if !common.any() {
-		return false
-	}
-	reach := b.endReach()
-	for d, bits := range a.ends {
-		if bitset.IntersectsAll(bits, common.at(d), reach.at(d)) {
+	common := commonNodes(u.Full, r)
+	for n := range u.Full.ends {
+		if common[n] && r.reachesEnd(n) {
 			return true
 		}
 	}
@@ -110,20 +96,16 @@ func prefixConflict(a, b *Set) bool {
 // ConflictUpdateUsed decides the used-chain check: either a full
 // update chain is a prefix of a used chain (change at or above the
 // used node), or a used chain ends inside a change branch (a node
-// typed by it appears on or vanishes from the branch). Both probes
-// share one commonNodes sweep and run as three-way intersections.
+// typed by it appears on or vanishes from the branch).
 func ConflictUpdateUsed(u *UpdateSet, v *Set) bool {
 	common := commonNodes(u.Full, v)
-	if common.any() {
-		reach := v.endReach()
-		for d, bits := range u.Full.ends {
-			if bitset.IntersectsAll(bits, common.at(d), reach.at(d)) {
-				return true
-			}
+	for n := range u.Full.ends {
+		if common[n] && v.reachesEnd(n) {
+			return true
 		}
 	}
-	for d, bits := range v.ends {
-		if bitset.IntersectsAll(bits, common.at(d), u.ChangeRegion.at(d)) {
+	for n := range v.ends {
+		if common[n] && u.ChangeRegion[n] {
 			return true
 		}
 	}
@@ -182,11 +164,6 @@ func Independence(d *dtd.DTD, q xquery.Query, u xquery.Update) Verdict {
 	return e.CheckIndependence(q, u)
 }
 
-// IndependenceCompiled is Independence over a pre-compiled schema.
-func IndependenceCompiled(c *dtd.Compiled, q xquery.Query, u xquery.Update) Verdict {
-	return EngineForCompiled(c, q, u).CheckIndependence(q, u)
-}
-
 // IndependenceBudget is Independence under a resource budget: the
 // engine charges b for every unit of graph growth and checks the
 // deadline cooperatively, aborting via guard.Abort when exhausted
@@ -197,29 +174,10 @@ func IndependenceBudget(d *dtd.DTD, q xquery.Query, u xquery.Update, b *guard.Bu
 	return e.CheckIndependence(q, u)
 }
 
-// IndependenceBudgetCompiled is IndependenceBudget over a pre-compiled
-// schema — the serving-path entry point: the compilation cache resolves
-// the artifact once and every request shares it.
-func IndependenceBudgetCompiled(c *dtd.Compiled, q xquery.Query, u xquery.Update, b *guard.Budget) Verdict {
-	b.Point("cdag.build")
-	e := EngineForCompiled(c, q, u).WithBudget(b)
-	return e.CheckIndependence(q, u)
-}
-
 // EngineFor builds the engine with the multiplicity and alphabet
 // extension appropriate for the pair; q or u may be nil when only one
 // side is analysed.
 func EngineFor(d *dtd.DTD, q xquery.Query, u xquery.Update) *Engine {
-	return NewEngine(d, pairK(q, u), pairExtras(d, q, u))
-}
-
-// EngineForCompiled is EngineFor over a pre-compiled schema.
-func EngineForCompiled(c *dtd.Compiled, q xquery.Query, u xquery.Update) *Engine {
-	return NewEngineCompiled(c, pairK(q, u), pairExtras(c.DTD(), q, u))
-}
-
-// pairK is the pair multiplicity k = kq + ku of Table 3.
-func pairK(q xquery.Query, u xquery.Update) int {
 	k := 0
 	if q != nil {
 		k += infer.KQuery(q)
@@ -230,18 +188,13 @@ func pairK(q xquery.Query, u xquery.Update) int {
 	if k < 1 {
 		k = 1
 	}
-	return k
-}
-
-// pairExtras counts the constructed tags outside the schema alphabet.
-func pairExtras(d *dtd.DTD, q xquery.Query, u xquery.Update) int {
 	extra := 0
 	for tag := range constructedTags(q, u) {
 		if !d.HasType(tag) {
 			extra++
 		}
 	}
-	return extra
+	return NewEngine(d, k, extra)
 }
 
 // constructedTags collects element-constructor tags and rename targets

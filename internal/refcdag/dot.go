@@ -1,0 +1,70 @@
+package refcdag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the set as a Graphviz digraph, with endpoints drawn as
+// double circles — the debugging view of the paper's Figure 2.
+//
+//xqvet:ignore budgetpoints diagnostic rendering of an already-budgeted CDAG; does no analysis work
+func (s *Set) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n", name)
+	id := func(n Node) string { return fmt.Sprintf("%q", fmt.Sprintf("%d:%s", n.Depth, n.Sym)) }
+	var nodes []Node
+	seen := map[Node]bool{}
+	addNode := func(n Node) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for r := range s.roots {
+		addNode(Node{0, r})
+	}
+	type edge struct {
+		from Node
+		to   string
+	}
+	var edges []edge
+	for from, tos := range s.out {
+		addNode(from)
+		for to := range tos {
+			addNode(Node{from.Depth + 1, to})
+			edges = append(edges, edge{from, to})
+		}
+	}
+	for n := range s.ends {
+		addNode(n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Depth != nodes[j].Depth {
+			return nodes[i].Depth < nodes[j].Depth
+		}
+		return nodes[i].Sym < nodes[j].Sym
+	})
+	for _, n := range nodes {
+		shape := "circle"
+		if s.ends[n] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  %s [label=%q, shape=%s];\n", id(n), n.Sym, shape)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			if edges[i].from.Depth != edges[j].from.Depth {
+				return edges[i].from.Depth < edges[j].from.Depth
+			}
+			return edges[i].from.Sym < edges[j].from.Sym
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %s -> %s;\n", id(e.from), id(Node{e.from.Depth + 1, e.to}))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,4 +1,4 @@
-package cdag
+package refcdag
 
 import (
 	"fmt"
@@ -93,9 +93,8 @@ func (e *Engine) Query(g Env, q xquery.Query) QueryChains {
 // stringChainSet is the element chain {S}.
 func (e *Engine) stringChainSet() *Set {
 	s := e.NewSet()
-	str := e.C.StringSym()
-	s.roots.Add(int(str))
-	s.addEnd(0, str)
+	s.roots["S"] = true
+	s.ends[Node{0, "S"}] = true
 	return s
 }
 
@@ -242,18 +241,17 @@ func (e *Engine) elementRule(g Env, n xquery.Element) QueryChains {
 	// e0 part 1: a.α.c' for each return endpoint α and its schema
 	// extensions.
 	elem := e.NewSet()
-	tag := e.internSym(n.Tag)
-	elem.roots.Add(int(tag))
-	base := Node{0, tag}
+	elem.roots[n.Tag] = true
+	base := Node{0, n.Tag}
 	for _, end := range inner.Ret.Ends() {
-		ext := e.suffixExtensions(end.Sym, e.MaxDepth)
+		ext := e.SuffixExtensions(end.Sym, e.MaxDepth)
 		elem.graft(base, ext)
 	}
 	// e0 part 2: a.c for nested element chains.
 	elem.graft(base, inner.Elem)
 	// e0 part 3: bare a when the content contributes nothing.
 	if inner.Ret.IsEmpty() && inner.Elem.IsEmpty() {
-		elem.addEnd(0, tag)
+		elem.ends[base] = true
 	}
 	out.Elem = elem
 	// Used: r̄ ∪ v.

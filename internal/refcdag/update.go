@@ -1,9 +1,8 @@
-package cdag
+package refcdag
 
 import (
 	"fmt"
 
-	"xqindep/internal/dtd"
 	"xqindep/internal/guard"
 	"xqindep/internal/xquery"
 )
@@ -14,17 +13,19 @@ import (
 // which is what the used-chain conflict check needs.
 type UpdateSet struct {
 	Full         *Set
-	ChangeRegion Marks
+	ChangeRegion map[Node]bool
 }
 
 func (e *Engine) newUpdateSet() *UpdateSet {
-	return &UpdateSet{Full: e.NewSet()}
+	return &UpdateSet{Full: e.NewSet(), ChangeRegion: make(map[Node]bool)}
 }
 
 // AddAll unions t into u.
 func (u *UpdateSet) AddAll(t *UpdateSet) {
 	u.Full.AddAll(t.Full)
-	u.ChangeRegion.union(t.ChangeRegion)
+	for n := range t.ChangeRegion {
+		u.ChangeRegion[n] = true
+	}
 }
 
 // IsEmpty reports whether no update chains were inferred.
@@ -65,35 +66,30 @@ func (e *Engine) Update(g Env, u xquery.Update) *UpdateSet {
 		r0 := e.Query(g, n.Target).Ret
 		out := e.newUpdateSet()
 		out.Full.AddAll(r0)
-		for d, bits := range r0.ends {
-			if bits.Any() {
-				out.ChangeRegion.or(d, bits)
-			}
+		for end := range r0.ends {
+			out.ChangeRegion[end] = true
 		}
 		return out
 	case xquery.Rename:
 		r0 := e.Query(g, n.Target).Ret
-		as := e.internSym(n.As)
 		out := e.newUpdateSet()
 		out.Full.AddAll(r0)
-		for _, end := range r0.endNodes() {
-			out.ChangeRegion.add(end.Depth, end.Sym)
+		for end := range r0.ends {
+			out.ChangeRegion[end] = true
 			if end.Depth == 0 {
 				// Renaming the root: the new name becomes a root chain.
-				out.Full.roots.Add(int(as))
-				out.Full.addEnd(0, as)
-				out.ChangeRegion.add(0, as)
+				out.Full.roots[n.As] = true
+				nn := Node{0, n.As}
+				out.Full.ends[nn] = true
+				out.ChangeRegion[nn] = true
 				continue
 			}
-			preds := r0.predBits(end)
-			if !preds.Any() {
-				continue
+			for _, p := range r0.preds(end) {
+				out.Full.addEdge(p, n.As)
+				nn := Node{end.Depth, n.As}
+				out.Full.ends[nn] = true
+				out.ChangeRegion[nn] = true
 			}
-			preds.ForEach(func(p int) {
-				out.Full.addEdge(end.Depth-1, dtd.SymID(p), as)
-			})
-			out.Full.addEnd(end.Depth, as)
-			out.ChangeRegion.add(end.Depth, as)
 		}
 		return out
 	case xquery.Insert:
@@ -101,8 +97,8 @@ func (e *Engine) Update(g Env, u xquery.Update) *UpdateSet {
 		r0 := e.Query(g, n.Target).Ret
 		out := e.newUpdateSet()
 		out.Full.AddAll(r0)
-		out.Full.ends = nil // targets are prefixes, not ends
-		for _, end := range r0.endNodes() {
+		out.Full.ends = make(map[Node]bool) // targets are prefixes, not ends
+		for end := range r0.ends {
 			if n.Pos.IsInto() {
 				e.graftSource(out, end, src)
 				continue
@@ -110,10 +106,9 @@ func (e *Engine) Update(g Env, u xquery.Update) *UpdateSet {
 			// before/after: the change happens under the target's
 			// parent (INSERT-2); inserting beside the root is
 			// impossible.
-			depth := end.Depth
-			r0.predBits(end).ForEach(func(p int) {
-				e.graftSource(out, Node{depth - 1, dtd.SymID(p)}, src)
-			})
+			for _, p := range r0.preds(end) {
+				e.graftSource(out, p, src)
+			}
 		}
 		return out
 	case xquery.Replace:
@@ -121,22 +116,21 @@ func (e *Engine) Update(g Env, u xquery.Update) *UpdateSet {
 		r0 := e.Query(g, n.Target).Ret
 		out := e.newUpdateSet()
 		out.Full.AddAll(r0)
-		out.Full.ends = nil
-		for _, end := range r0.endNodes() {
+		out.Full.ends = make(map[Node]bool)
+		for end := range r0.ends {
 			// Removal of the target node: full chain = target chain.
-			out.Full.addEnd(end.Depth, end.Sym)
-			out.ChangeRegion.add(end.Depth, end.Sym)
+			out.Full.ends[end] = true
+			out.ChangeRegion[end] = true
 			// Insertion of the source in the target's place.
-			depth := end.Depth
-			r0.predBits(end).ForEach(func(p int) {
-				e.graftSource(out, Node{depth - 1, dtd.SymID(p)}, src)
-			})
+			for _, p := range r0.preds(end) {
+				e.graftSource(out, p, src)
+			}
 			if end.Depth == 0 {
 				// Replacing the root: the source chains become
 				// root-level change chains.
 				e.graftAtRoots(out, src.Elem)
 				for _, sEnd := range src.Ret.Ends() {
-					e.graftAtRoots(out, e.suffixExtensions(sEnd.Sym, e.MaxDepth))
+					e.graftAtRoots(out, e.SuffixExtensions(sEnd.Sym, e.MaxDepth))
 				}
 			}
 		}
@@ -152,7 +146,7 @@ func (e *Engine) Update(g Env, u xquery.Update) *UpdateSet {
 func (e *Engine) graftSource(out *UpdateSet, prefix Node, src QueryChains) {
 	e.graftMarked(out, prefix, src.Elem)
 	for _, end := range src.Ret.Ends() {
-		ext := e.suffixExtensions(end.Sym, e.MaxDepth)
+		ext := e.SuffixExtensions(end.Sym, e.MaxDepth)
 		e.graftMarked(out, prefix, ext)
 	}
 }
@@ -163,27 +157,25 @@ func (e *Engine) graftMarked(out *UpdateSet, base Node, t *Set) {
 	if off > e.MaxDepth {
 		return
 	}
-	t.roots.ForEach(func(r int) {
-		out.Full.addEdge(base.Depth, base.Sym, dtd.SymID(r))
-	})
-	if t.roots.Any() {
-		out.ChangeRegion.or(off, t.roots)
+	for r := range t.roots {
+		out.Full.addEdge(base, r)
+		out.ChangeRegion[Node{off, r}] = true
 	}
-	for d, row := range t.out {
-		if off+d+1 > e.MaxDepth {
+	for from, tos := range t.out {
+		if off+from.Depth+1 > e.MaxDepth {
 			continue
 		}
-		for from, bits := range row {
-			if bits.Any() {
-				out.Full.mergeRow(off+d, dtd.SymID(from), bits)
-				out.ChangeRegion.or(off+d+1, bits)
-			}
+		sf := Node{off + from.Depth, from.Sym}
+		for to := range tos {
+			out.Full.addEdge(sf, to)
+			out.ChangeRegion[Node{off + from.Depth + 1, to}] = true
 		}
 	}
-	for d, bits := range t.ends {
-		if off+d <= e.MaxDepth && bits.Any() {
-			out.Full.endsOr(off+d, bits)
-			out.ChangeRegion.or(off+d, bits)
+	for n := range t.ends {
+		if off+n.Depth <= e.MaxDepth {
+			nn := Node{off + n.Depth, n.Sym}
+			out.Full.ends[nn] = true
+			out.ChangeRegion[nn] = true
 		}
 	}
 }
@@ -192,22 +184,18 @@ func (e *Engine) graftMarked(out *UpdateSet, base Node, t *Set) {
 // marking everything as change region (used when replacing the
 // document root).
 func (e *Engine) graftAtRoots(out *UpdateSet, t *Set) {
-	out.Full.roots.Or(t.roots)
-	if t.roots.Any() {
-		out.ChangeRegion.or(0, t.roots)
+	for r := range t.roots {
+		out.Full.roots[r] = true
+		out.ChangeRegion[Node{0, r}] = true
 	}
-	for d, row := range t.out {
-		for from, bits := range row {
-			if bits.Any() {
-				out.Full.mergeRow(d, dtd.SymID(from), bits)
-				out.ChangeRegion.or(d+1, bits)
-			}
+	for from, tos := range t.out {
+		for to := range tos {
+			out.Full.addEdge(from, to)
+			out.ChangeRegion[Node{from.Depth + 1, to}] = true
 		}
 	}
-	for d, bits := range t.ends {
-		if bits.Any() {
-			out.Full.endsOr(d, bits)
-			out.ChangeRegion.or(d, bits)
-		}
+	for n := range t.ends {
+		out.Full.ends[n] = true
+		out.ChangeRegion[n] = true
 	}
 }

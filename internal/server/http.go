@@ -150,9 +150,21 @@ func (h *Handler) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
+// StatzPayload is the /statz response: the server counters plus the
+// process-wide schema-compilation cache counters (every analyzer the
+// schema cache builds resolves its compiled schema through that
+// cache, so hits/misses there measure real recompilation avoided).
+type StatzPayload struct {
+	Server       Stats          `json:"server"`
+	CompileCache dtd.CacheStats `json:"compile_cache"`
+}
+
 func (h *Handler) handleStatz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(h.srv.Stats())
+	_ = json.NewEncoder(w).Encode(StatzPayload{
+		Server:       h.srv.Stats(),
+		CompileCache: dtd.CompileCacheStats(),
+	})
 }
 
 func (h *Handler) handleAnalyze(w http.ResponseWriter, r *http.Request) {

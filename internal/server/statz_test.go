@@ -1,0 +1,89 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// The /statz endpoint must surface the process-wide compilation-cache
+// counters next to the server counters, and the handler must run on
+// its injected clock (a frozen clock yields a zero latency reading —
+// proof no ambient wall-clock read sneaks into the serving path).
+func TestStatzExposesCompileCache(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	h := NewHandler(s)
+	frozen := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	h.now = func() time.Time { return frozen }
+
+	statz := func() StatzPayload {
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, httptest.NewRequest("GET", "/statz", nil))
+		if rw.Code != 200 {
+			t.Fatalf("GET /statz = %d", rw.Code)
+		}
+		var p StatzPayload
+		if err := json.Unmarshal(rw.Body.Bytes(), &p); err != nil {
+			t.Fatalf("decoding /statz: %v", err)
+		}
+		return p
+	}
+	analyze := func(schema string) AnalyzeResponse {
+		body, _ := json.Marshal(AnalyzeRequest{Schema: schema, Query: "//title", Update: "delete //price"})
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, httptest.NewRequest("POST", "/analyze", bytes.NewReader(body)))
+		if rw.Code != 200 {
+			t.Fatalf("POST /analyze = %d: %s", rw.Code, rw.Body.String())
+		}
+		var resp AnalyzeResponse
+		if err := json.Unmarshal(rw.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decoding verdict: %v", err)
+		}
+		return resp
+	}
+
+	before := statz().CompileCache
+
+	// A schema no other test compiles, so the first sight really is a
+	// miss of the process-global cache.
+	const statzSchema = "catalog <- entry*\nentry <- title, price?\ntitle <- #PCDATA\nprice <- #PCDATA"
+	resp := analyze(statzSchema)
+	if resp.ElapsedUS != 0 {
+		t.Errorf("frozen clock but elapsed_us = %d; handler read ambient time", resp.ElapsedUS)
+	}
+	after := statz()
+	if after.Server.Completed < 1 {
+		t.Errorf("server counters missing from /statz: %+v", after.Server)
+	}
+	if after.CompileCache.Misses <= before.Misses {
+		t.Errorf("first analysis did not register a compile-cache miss: before %+v after %+v",
+			before, after.CompileCache)
+	}
+	if after.CompileCache.Resident < 1 {
+		t.Errorf("compiled schema not resident: %+v", after.CompileCache)
+	}
+
+	// The same declarations under a different text spelling miss the
+	// text-keyed schema cache but share a fingerprint — the compile
+	// cache must serve the artifact without recompiling.
+	analyze(statzSchema + "\n")
+	final := statz().CompileCache
+	if final.Misses != after.CompileCache.Misses {
+		t.Errorf("equal-fingerprint schema recompiled: %+v -> %+v", after.CompileCache, final)
+	}
+	if final.Hits <= after.CompileCache.Hits {
+		t.Errorf("equal-fingerprint schema did not hit the compile cache: %+v -> %+v", after.CompileCache, final)
+	}
+	found := false
+	for _, sc := range final.Schemas {
+		if sc.Types > 0 && sc.Fingerprint != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("per-schema stats missing: %+v", final.Schemas)
+	}
+}

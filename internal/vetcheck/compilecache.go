@@ -1,0 +1,45 @@
+package vetcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkCompileCache keeps schema compilation behind the fingerprint
+// cache: dtd.NewCompiled is the raw constructor, and calling it
+// outside internal/dtd builds an uncached, unshared artifact — the
+// serving layer would recompile per request and the /statz counters
+// would lie. Everyone else goes through dtd.Compile (the shared
+// default cache) or an explicit CompileCache. As in clockinject, any
+// selector mention of the constructor counts, so aliasing the function
+// value does not evade the rule.
+func checkCompileCache(p *pass) {
+	for _, pkg := range p.mod.Pkgs {
+		if pkg.Rel == "internal/dtd" {
+			continue // the cache implementation is the one legal caller
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Name() != "NewCompiled" || !isDTDPkg(fn.Pkg()) {
+					return true
+				}
+				p.report("compilecache", sel.Pos(),
+					"dtd.NewCompiled in %s bypasses the compilation cache; use dtd.Compile or a CompileCache", pkg.Rel)
+				return true
+			})
+		}
+	}
+}
+
+// isDTDPkg matches the schema package by module-relative path, the
+// same way isGuardPkg matches guard, so fixtures fall under the rule.
+func isDTDPkg(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "internal/dtd" ||
+		strings.HasSuffix(pkg.Path(), "/internal/dtd"))
+}

@@ -1,0 +1,17 @@
+// Package dtd is the fixture's stand-in for the real schema package:
+// compilecache matches NewCompiled by name and module-relative path,
+// so only the shape matters.
+package dtd
+
+// DTD mirrors the real parsed schema.
+type DTD struct{ Name string }
+
+// Compiled mirrors the real compiled artifact.
+type Compiled struct{ d *DTD }
+
+// NewCompiled is the raw constructor; calling it here, inside the
+// defining package, is the one legal site.
+func NewCompiled(d *DTD) (*Compiled, error) { return &Compiled{d: d}, nil }
+
+// Compile is the cached entry point everyone else must use.
+func Compile(d *DTD) (*Compiled, error) { return NewCompiled(d) }

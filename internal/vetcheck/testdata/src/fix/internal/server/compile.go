@@ -1,0 +1,24 @@
+// Firing and non-firing fixtures for compilecache: the serving layer
+// must obtain compiled schemas through the cache, never by calling the
+// raw constructor.
+package server
+
+import "example.com/fix/internal/dtd"
+
+func compileAdHoc(d *dtd.DTD) (*dtd.Compiled, error) {
+	return dtd.NewCompiled(d) // want "bypasses the compilation cache"
+}
+
+func compileAliased(d *dtd.DTD) (*dtd.Compiled, error) {
+	mk := dtd.NewCompiled // want "bypasses the compilation cache"
+	return mk(d)
+}
+
+func compileCached(d *dtd.DTD) (*dtd.Compiled, error) {
+	return dtd.Compile(d)
+}
+
+func compileExempted(d *dtd.DTD) (*dtd.Compiled, error) {
+	//xqvet:ignore compilecache exercising the pragma path for this check
+	return dtd.NewCompiled(d)
+}

@@ -4,7 +4,7 @@
 // keep the engine's independence verdicts sound and its serving layer
 // deterministic. See DESIGN.md §5 for the invariant each check guards.
 //
-// The five checks:
+// The six checks:
 //
 //	panicdiscipline — panics in engine packages carry
 //	    *guard.InternalError (or sit in Must* constructors), every go
@@ -18,6 +18,8 @@
 //	    context.Background()/TODO() only at annotated detach points.
 //	clockinject — internal/server and internal/faultinject never read
 //	    ambient time or global randomness.
+//	compilecache — dtd.NewCompiled is only called inside internal/dtd;
+//	    everyone else obtains compiled schemas through the cache.
 //
 // A finding is suppressed by a pragma on the same or preceding line:
 //
@@ -78,25 +80,29 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		EnginePackages: set(
-			"internal/cdag", "internal/chain", "internal/core",
-			"internal/dtd", "internal/eval", "internal/faultinject",
-			"internal/infer", "internal/pathanalysis", "internal/preserve",
-			"internal/server", "internal/typeanalysis", "internal/xmark",
+			"internal/bitset", "internal/cdag", "internal/chain",
+			"internal/core", "internal/dtd", "internal/eval",
+			"internal/faultinject", "internal/infer", "internal/pathanalysis",
+			"internal/preserve", "internal/refcdag", "internal/server",
+			"internal/typeanalysis", "internal/xmark",
 			"internal/xmltree", "internal/xquery",
 		),
 		GoRecoverPackages: set("internal/server"),
 		BudgetPackages: set(
 			"internal/chain", "internal/cdag", "internal/infer",
 			"internal/typeanalysis", "internal/pathanalysis",
+			"internal/refcdag",
 		),
 		VerdictTypes: set(
-			"internal/cdag.Verdict", "internal/infer.Verdict",
+			"internal/cdag.Verdict", "internal/refcdag.Verdict",
+			"internal/infer.Verdict",
 			"internal/typeanalysis.Verdict", "internal/pathanalysis.Verdict",
 			"internal/core.Result", "internal/server.AnalyzeResponse",
 			"Report",
 		),
 		ProofFuncs: set(
 			"internal/cdag.CheckIndependence",
+			"internal/refcdag.CheckIndependence",
 			"internal/infer.CheckIndependence",
 			"internal/typeanalysis.CheckIndependence",
 			"internal/pathanalysis.IndependenceBudget",
@@ -118,7 +124,8 @@ func set(keys ...string) map[string]bool {
 
 // CheckNames lists the checks in canonical order.
 var CheckNames = []string{
-	"panicdiscipline", "budgetpoints", "verdictsites", "ctxflow", "clockinject",
+	"panicdiscipline", "budgetpoints", "verdictsites", "ctxflow",
+	"clockinject", "compilecache",
 }
 
 type checkFunc func(*pass)
@@ -129,6 +136,7 @@ var checkFuncs = map[string]checkFunc{
 	"verdictsites":    checkVerdictSites,
 	"ctxflow":         checkCtxFlow,
 	"clockinject":     checkClockInject,
+	"compilecache":    checkCompileCache,
 }
 
 // pass carries shared state across checks for one module.
@@ -151,7 +159,7 @@ func (p *pass) report(check string, pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run loads the module at dir and applies the named checks (all five
+// Run loads the module at dir and applies the named checks (all six
 // when checks is empty), returning pragma-filtered findings sorted by
 // position. Pragma defects (missing reason, unknown check, stale
 // ignore) are appended as check "pragma" and cannot themselves be

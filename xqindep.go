@@ -91,6 +91,42 @@ func (s *Schema) Fingerprint() string { return s.d.Fingerprint() }
 // the escape hatch for advanced integrations and tests.
 func (s *Schema) DTD() *dtd.DTD { return s.d }
 
+// CompiledSchema is the dense compiled artifact the chain analyses
+// run on: symbols interned to small integers, reachability, sibling
+// order and recursion precomputed as bitsets. It is immutable and safe
+// for concurrent use; equal-fingerprint schemas share one instance
+// through the process-wide compilation cache.
+type CompiledSchema struct {
+	c *dtd.Compiled
+}
+
+// Compile returns the compiled form of the schema, resolved through
+// the fingerprint-keyed compilation cache: repeated calls — from any
+// goroutine, for any Schema with the same declarations — return the
+// shared artifact. Schemas beyond the compiled alphabet limit return
+// an error wrapping ErrBudgetExceeded.
+func (s *Schema) Compile() (*CompiledSchema, error) {
+	c, err := dtd.Compile(s.d)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledSchema{c: c}, nil
+}
+
+// NumSymbols returns |Σ| including the synthetic string type.
+func (cs *CompiledSchema) NumSymbols() int { return cs.c.NumSyms() }
+
+// Fingerprint returns the content hash the cache keys on; it equals
+// the source Schema's Fingerprint.
+func (cs *CompiledSchema) Fingerprint() string { return cs.c.Fingerprint() }
+
+// RecursiveTypes returns the number of types on a ⇒d cycle.
+func (cs *CompiledSchema) RecursiveTypes() int { return cs.c.RecursiveCount() }
+
+// CompileCacheStats reports the process-wide compilation cache
+// counters; the analysis server exposes the same numbers on /statz.
+func CompileCacheStats() dtd.CacheStats { return dtd.CompileCacheStats() }
+
 // Query is a parsed query of the supported XQuery fragment.
 type Query struct {
 	ast xquery.Query
