@@ -7,6 +7,8 @@
 //	xqbench -fig all           everything
 //	xqbench -compiled-bench    dense compiled-schema engine vs the map
 //	                           reference; writes BENCH_compiledschema.json
+//	xqbench -audit-bench       request-path overhead of the runtime
+//	                           verdict audit; writes BENCH_sentinel.json
 //
 // Flags tune the workload sizes; defaults regenerate the shapes of the
 // paper on laptop-scale inputs.
@@ -39,6 +41,12 @@ func main() {
 		compiledBench = flag.Bool("compiled-bench", false, "benchmark the dense compiled-schema engine against the map reference and exit")
 		benchPair     = flag.String("bench-pair", "A3:UB2", "view:update pair for -compiled-bench")
 		benchOut      = flag.String("bench-out", "BENCH_compiledschema.json", "output file for -compiled-bench ('' = stdout table only)")
+
+		auditBench = flag.Bool("audit-bench", false, "benchmark request-path overhead of the runtime verdict audit and exit")
+		auditPair  = flag.String("audit-pair", "q1:UB2", "view:update pair for -audit-bench (an independent pair, so audits actually fire)")
+		auditRate  = flag.Float64("audit-rate", 0.01, "sample rate for -audit-bench")
+		auditReqs  = flag.Int("audit-requests", 2000, "requests per arm for -audit-bench")
+		auditOut   = flag.String("audit-out", "BENCH_sentinel.json", "output file for -audit-bench ('' = stdout table only)")
 	)
 	flag.Parse()
 	experiments.AnalysisTimeout = time.Duration(*timeout)
@@ -46,6 +54,10 @@ func main() {
 
 	if *compiledBench {
 		runCompiledBench(*benchPair, *benchOut)
+		return
+	}
+	if *auditBench {
+		runAuditBench(*auditPair, *auditRate, *auditReqs, *auditOut)
 		return
 	}
 
@@ -101,6 +113,40 @@ func runCompiledBench(pair, out string) {
 		return
 	}
 	data, err := json.MarshalIndent(cb, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "xqbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// runAuditBench measures request latency with and without the runtime
+// verdict audit lane and writes the comparison as JSON — the committed
+// BENCH_sentinel.json is regenerated this way.
+func runAuditBench(pair string, rate float64, requests int, out string) {
+	name := strings.SplitN(pair, ":", 2)
+	if len(name) != 2 {
+		fmt.Fprintf(os.Stderr, "xqbench: -bench-pair must be view:update, got %q\n", pair)
+		os.Exit(2)
+	}
+	ab, err := experiments.MeasureAuditBench(name[0], name[1], rate, requests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqbench:", err)
+		os.Exit(2)
+	}
+	fmt.Print(experiments.RenderAuditBench(ab))
+	if ab.Audits.Disagreements > 0 {
+		fmt.Fprintln(os.Stderr, "xqbench: SOUNDNESS VIOLATION: audit disagreements on a fault-free run")
+		os.Exit(1)
+	}
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(ab, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xqbench:", err)
 		os.Exit(1)

@@ -18,13 +18,22 @@
 // conservative "possibly DEPENDENT"), unless -no-fallback is given,
 // in which case the overrun is an error.
 //
+// -audit re-derives an Independent verdict on independent machinery —
+// the reference chain engine plus a dynamic-oracle replay on generated
+// documents — exactly as the daemon's runtime audit lane would. It is
+// the one-shot form of xqindepd's -audit-rate: use it to vet a verdict
+// before acting on it, or to reproduce a daemon incident offline.
+//
 // Exit status: 0 when independence is detected, 1 when it is not,
 // 2 on usage or parse errors, 3 when the verdict is degraded (a
-// budget was exceeded and a weaker method answered).
+// budget was exceeded and a weaker method answered), 4 when -audit
+// refutes an Independent verdict (an unsoundness incident: the fast
+// engine and the audit machinery disagree).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +41,9 @@ import (
 
 	"xqindep"
 	"xqindep/internal/core"
+	"xqindep/internal/quarantine"
+	"xqindep/internal/sentinel"
+	"xqindep/internal/xquery"
 )
 
 func main() {
@@ -53,6 +65,7 @@ func run() int {
 		maxK        = flag.Int("max-k", 0, "largest accepted multiplicity k (0 = default)")
 		noFallback  = flag.Bool("no-fallback", false, "fail on budget overrun instead of degrading to a weaker method")
 		lint        = flag.Bool("lint", false, "warn when the query or update matches zero chains under the schema (usually a path typo)")
+		audit       = flag.Bool("audit", false, "re-derive an Independent verdict on the audit machinery (shadow engine + dynamic oracle); exit 4 on disagreement")
 	)
 	flag.Parse()
 	if *schemaFile == "" || *updateText == "" || (*queryText == "" && *update2Text == "") {
@@ -185,6 +198,11 @@ func run() int {
 			}
 		}
 	}
+	if *audit && independent {
+		if code := runAudit(schema, *queryText, *updateText); code != 0 {
+			return code
+		}
+	}
 	if degraded {
 		return 3
 	}
@@ -192,6 +210,54 @@ func run() int {
 		return 0
 	}
 	return 1
+}
+
+// runAudit is the one-shot form of the daemon's audit lane: feed the
+// Independent verdict through a sample-rate-1 auditor and report the
+// outcome. A disagreement means the fast engine's proof did not
+// survive re-derivation on independent machinery.
+func runAudit(schema *xqindep.Schema, queryText, updateText string) int {
+	q, err := xquery.ParseQuery(queryText)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqindep: audit:", err)
+		return 2
+	}
+	u, err := xquery.ParseUpdate(updateText)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqindep: audit:", err)
+		return 2
+	}
+	aud := sentinel.New(sentinel.Config{
+		SampleRate: 1,
+		Quarantine: quarantine.NewRegistry(quarantine.Config{}),
+	})
+	defer aud.Close()
+	aud.Observe(sentinel.Observation{
+		D:          schema.DTD(),
+		Query:      q,
+		Update:     u,
+		QueryText:  queryText,
+		UpdateText: updateText,
+		Result:     core.Result{Independent: true, Method: core.MethodChains},
+	})
+	aud.Flush()
+	st := aud.Stats()
+	switch {
+	case st.Disagreements > 0:
+		fmt.Println("audit: REFUTED — the Independent verdict did not survive re-derivation")
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		for _, in := range aud.Incidents() {
+			_ = enc.Encode(in)
+		}
+		return 4
+	case st.Inconclusive > 0:
+		fmt.Println("audit: inconclusive (audit budget exhausted; verdict unconfirmed)")
+		return 0
+	default:
+		fmt.Println("audit: confirmed by shadow engine and dynamic oracle")
+		return 0
+	}
 }
 
 func printChains(label string, chains []string) {

@@ -14,10 +14,19 @@
 //	}'
 //
 // Endpoints: POST /analyze (JSON in/out), GET /healthz (liveness),
-// GET /readyz (readiness: 503 while draining), GET /statz (counters).
-// Verdicts answer 200 (degraded and breaker-served verdicts
+// GET /readyz (readiness: 503 while draining), GET /statz (counters),
+// GET /incidentz (audit incidents and quarantine state). Verdicts
+// answer 200 (degraded, breaker-served and quarantine-served verdicts
 // included); 400 malformed input, 429 shed by admission control, 503
-// draining.
+// draining. 429/503 responses carry a Retry-After hint.
+//
+// With -audit-rate > 0 the daemon samples Independent verdicts and
+// re-derives them off the request path on independent machinery (the
+// reference chain engine plus a dynamic-oracle replay); a disagreement
+// is an unsoundness incident that quarantines the schema fingerprint —
+// its verdicts degrade to the conservative "not independent" until
+// clean retrials recover it. Incidents appear on /incidentz and, with
+// -audit-spool, as an append-only JSONL trail.
 //
 // Batch mode reads one JSON request per stdin line and writes one
 // JSON response per stdout line, in order:
@@ -67,6 +76,13 @@ func run() int {
 		brkMax    = flag.Duration("breaker-max-backoff", 60*time.Second, "circuit-breaker backoff cap")
 		brkJitter = flag.Float64("breaker-jitter", 0.2, "breaker backoff jitter fraction in [0,1)")
 		brkSeed   = flag.Int64("breaker-seed", 0, "breaker jitter seed (0 = fixed default)")
+
+		auditRate   = flag.Float64("audit-rate", 0, "fraction of Independent verdicts re-derived off the request path by the audit lane (0 disables, 1 audits all)")
+		auditBudget = flag.Int("audit-budget", 0, "node/chain budget per audit re-derivation (0 = audit-lane defaults)")
+		quarAfter   = flag.Int("quarantine-after", 1, "audit disagreements on one schema fingerprint that quarantine it")
+		auditSeed   = flag.Int64("audit-seed", 0, "audit sampling and oracle-document seed (0 = fixed default)")
+		auditSpool  = flag.String("audit-spool", "", "append audit incidents as JSON lines to this file")
+		memMark     = flag.Uint64("mem-watermark", 0, "shed admissions while heap usage exceeds this many bytes (0 disables)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -85,7 +101,18 @@ func run() int {
 		defaultSchema = string(b)
 	}
 
-	pool := xqindep.NewPool(xqindep.PoolOptions{
+	var spool *os.File
+	if *auditSpool != "" {
+		f, err := os.OpenFile(*auditSpool, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xqindepd:", err)
+			return 2
+		}
+		spool = f
+		defer spool.Close()
+	}
+
+	opts := xqindep.PoolOptions{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		Limits:         xqindep.Limits{MaxNodes: *maxNodes, MaxChains: *maxChains, MaxK: *maxK},
@@ -98,7 +125,17 @@ func run() int {
 		BreakerMaxBackoff: *brkMax,
 		BreakerJitter:     *brkJitter,
 		BreakerSeed:       *brkSeed,
-	})
+
+		AuditRate:       *auditRate,
+		AuditBudget:     *auditBudget,
+		QuarantineAfter: *quarAfter,
+		AuditSeed:       *auditSeed,
+		MemoryWatermark: *memMark,
+	}
+	if spool != nil {
+		opts.AuditSpool = spool
+	}
+	pool := xqindep.NewPool(opts)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

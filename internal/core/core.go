@@ -19,6 +19,7 @@ import (
 	"xqindep/internal/guard"
 	"xqindep/internal/infer"
 	"xqindep/internal/pathanalysis"
+	"xqindep/internal/quarantine"
 	"xqindep/internal/typeanalysis"
 	"xqindep/internal/xquery"
 )
@@ -119,8 +120,17 @@ type Options struct {
 	// Limits bounds the analysis; zero fields take guard defaults.
 	Limits guard.Limits
 	// NoFallback disables the degradation ladder: a budget overrun is
-	// returned as an error instead of a weaker verdict.
+	// returned as an error instead of a weaker verdict. It does NOT
+	// disable the quarantine downgrade below — containment of a
+	// suspected-unsound schema must not be optional.
 	NoFallback bool
+	// Quarantine is the containment registry consulted before every
+	// analysis: while the schema's fingerprint is quarantined (a runtime
+	// audit caught a wrong Independent verdict on it), the verdict is
+	// downgraded to the conservative ladder rung without running the
+	// suspect engines. Nil selects the process-wide quarantine.Shared(),
+	// which downgrades nothing until an auditor records a disagreement.
+	Quarantine *quarantine.Registry
 }
 
 // Analyzer decides query-update independence for documents valid
@@ -199,6 +209,26 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, q xquery.Query, u xquery.
 		return Result{}, cerr
 	}
 	start := time.Now()
+	reg := opts.Quarantine
+	if reg == nil {
+		reg = quarantine.Shared()
+	}
+	if m != MethodConservative && reg.Downgrade(a.D.Fingerprint()) {
+		// The fingerprint is quarantined: serve the conservative rung
+		// directly. This is a pure downgrade (Independent=false is
+		// always sound), reported through the same Degraded/Err contract
+		// as a budget fallback so callers and dashboards need no new
+		// case.
+		return Result{
+			Method:        MethodConservative,
+			Independent:   false,
+			Witnesses:     []string{"schema fingerprint quarantined after audit disagreement; conservatively assuming dependence"},
+			Degraded:      true,
+			FallbackChain: []Method{m, MethodConservative},
+			Err:           quarantine.ErrQuarantined,
+			Elapsed:       time.Since(start),
+		}, nil
+	}
 	ladder := fallbackLadder(m)
 	if opts.NoFallback {
 		ladder = ladder[:1]
@@ -246,7 +276,18 @@ func (a *Analyzer) analyzeOnce(ctx context.Context, m Method, q xquery.Query, u 
 		if a.C == nil {
 			return Result{}, fmt.Errorf("core: schema compilation failed: %w", a.compileErr)
 		}
-		v := cdag.IndependenceBudgetCompiled(a.C, q, u, b)
+		c := a.C
+		if ferr := guard.FirePoint(b.Context(), "core.artifact"); ferr != nil {
+			if !errors.Is(ferr, guard.ErrArtifactCorrupt) {
+				return Result{}, ferr
+			}
+			// Chaos corrupt-artifact injection: analyze on a privately
+			// corrupted copy (the shared cache resident stays intact —
+			// corruption must not leak across requests). The copy's
+			// damage is deterministic per schema.
+			c = c.WithCorruption(int64(c.Checksum()) | 1)
+		}
+		v := cdag.IndependenceBudgetCompiled(c, q, u, b)
 		res.Independent = v.Independent
 		res.K = v.K
 		res.Witnesses = v.Reasons
@@ -282,6 +323,16 @@ func (a *Analyzer) analyzeOnce(ctx context.Context, m Method, q xquery.Query, u 
 		res.Witnesses = []string{"analysis budget exceeded; conservatively assuming dependence"}
 	default:
 		return Result{}, fmt.Errorf("core: unknown method %v", m)
+	}
+	if ferr := guard.FirePoint(b.Context(), "core.verdict"); ferr != nil {
+		if !errors.Is(ferr, guard.ErrVerdictFlip) {
+			return Result{}, ferr
+		}
+		// Chaos flip-verdict injection: corrupt the rung verdict about
+		// to be returned, simulating an unsound engine edge case. The
+		// sentinel audit layer is responsible for catching the
+		// Independent=true flips this produces.
+		res.Independent = !res.Independent
 	}
 	return res, nil
 }

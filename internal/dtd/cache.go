@@ -1,6 +1,7 @@
 package dtd
 
 import (
+	"container/list"
 	"sort"
 	"sync"
 )
@@ -9,15 +10,28 @@ import (
 // schemas. The analysis layers share one immutable artifact per
 // schema across concurrent requests: Get compiles at most once per
 // fingerprint (modulo a benign race where two first requests compile
-// concurrently and one result wins) and evicts arbitrarily at
-// capacity, mirroring the serving layer's schema-text cache.
+// concurrently and one result wins) and evicts in deterministic LRU
+// order — least-recently-hit first — so quarantine→purge→recompile
+// behavior is reproducible under chaos schedules. Every hit also
+// re-runs the artifact's Verify self-check: a corrupted resident is
+// evicted and recompiled instead of being served.
 type CompileCache struct {
-	mu        sync.Mutex
-	max       int
-	m         map[string]*Compiled
-	hits      int64
-	misses    int64
-	evictions int64
+	mu  sync.Mutex
+	max int
+	m   map[string]*list.Element
+	// lru orders residents most-recently-hit first; Back() is the
+	// eviction victim. Element values are *cacheEntry.
+	lru            list.List
+	hits           int64
+	misses         int64
+	evictions      int64
+	purges         int64
+	verifyFailures int64
+}
+
+type cacheEntry struct {
+	fp string
+	c  *Compiled
 }
 
 // NewCompileCache returns a cache holding at most max schemas
@@ -26,19 +40,33 @@ func NewCompileCache(max int) *CompileCache {
 	if max < 1 {
 		max = 1
 	}
-	return &CompileCache{max: max, m: make(map[string]*Compiled)}
+	cc := &CompileCache{max: max, m: make(map[string]*list.Element)}
+	cc.lru.Init()
+	return cc
 }
 
 // Get returns the compiled artifact for d, compiling and caching it
 // on first sight of the fingerprint. Compilation runs outside the
-// lock so a slow compile never blocks hits on other schemas.
+// lock so a slow compile never blocks hits on other schemas. A hit
+// whose resident fails Verify is treated as a miss: the corrupted
+// artifact is evicted and a fresh compilation replaces it.
 func (cc *CompileCache) Get(d *DTD) (*Compiled, error) {
 	fp := d.Fingerprint()
 	cc.mu.Lock()
-	if c := cc.m[fp]; c != nil {
-		cc.hits++
-		cc.mu.Unlock()
-		return c, nil
+	if el := cc.m[fp]; el != nil {
+		ent := el.Value.(*cacheEntry)
+		if err := ent.c.Verify(); err != nil {
+			// Corrupted resident: drop it and fall through to a fresh
+			// compile. The failure is counted so /statz surfaces it.
+			cc.verifyFailures++
+			cc.lru.Remove(el)
+			delete(cc.m, fp)
+		} else {
+			cc.hits++
+			cc.lru.MoveToFront(el)
+			cc.mu.Unlock()
+			return ent.c, nil
+		}
 	}
 	cc.misses++
 	cc.mu.Unlock()
@@ -49,20 +77,38 @@ func (cc *CompileCache) Get(d *DTD) (*Compiled, error) {
 	}
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
-	if prev := cc.m[fp]; prev != nil {
+	if el := cc.m[fp]; el != nil {
 		// Lost a compile race; keep the resident artifact so every
 		// caller shares one instance.
-		return prev, nil
+		cc.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).c, nil
 	}
-	if len(cc.m) >= cc.max {
-		for k := range cc.m {
-			delete(cc.m, k)
-			cc.evictions++
-			break
-		}
+	for cc.lru.Len() >= cc.max {
+		victim := cc.lru.Back()
+		cc.lru.Remove(victim)
+		delete(cc.m, victim.Value.(*cacheEntry).fp)
+		cc.evictions++
 	}
-	cc.m[fp] = c
+	cc.m[fp] = cc.lru.PushFront(&cacheEntry{fp: fp, c: c})
 	return c, nil
+}
+
+// Purge drops the resident artifact for fingerprint fp, reporting
+// whether one was resident. The quarantine path uses it after an
+// audit disagreement so the next Get recompiles from the source DTD —
+// repairing the common benign cause (a corrupted compiled artifact)
+// before the quarantine becomes sticky.
+func (cc *CompileCache) Purge(fp string) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	el := cc.m[fp]
+	if el == nil {
+		return false
+	}
+	cc.lru.Remove(el)
+	delete(cc.m, fp)
+	cc.purges++
+	return true
 }
 
 // CacheStats is a point-in-time snapshot of a CompileCache, exposed
@@ -71,7 +117,13 @@ type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
-	Resident  int64 `json:"resident"`
+	// Purges counts explicit Purge calls that dropped a resident
+	// (quarantine repair path).
+	Purges int64 `json:"purges"`
+	// VerifyFailures counts cache hits whose resident failed its
+	// Verify self-check and was recompiled.
+	VerifyFailures int64 `json:"verify_failures"`
+	Resident       int64 `json:"resident"`
 	// Schemas describes each resident compiled schema, sorted by
 	// fingerprint.
 	Schemas []SchemaStat `json:"schemas,omitempty"`
@@ -89,12 +141,15 @@ func (cc *CompileCache) Stats() CacheStats {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	st := CacheStats{
-		Hits:      cc.hits,
-		Misses:    cc.misses,
-		Evictions: cc.evictions,
-		Resident:  int64(len(cc.m)),
+		Hits:           cc.hits,
+		Misses:         cc.misses,
+		Evictions:      cc.evictions,
+		Purges:         cc.purges,
+		VerifyFailures: cc.verifyFailures,
+		Resident:       int64(cc.lru.Len()),
 	}
-	for fp, c := range cc.m {
+	for fp, el := range cc.m {
+		c := el.Value.(*cacheEntry).c
 		st.Schemas = append(st.Schemas, SchemaStat{
 			Fingerprint: fp,
 			Types:       len(c.d.Types),
@@ -105,6 +160,18 @@ func (cc *CompileCache) Stats() CacheStats {
 		return st.Schemas[i].Fingerprint < st.Schemas[j].Fingerprint
 	})
 	return st
+}
+
+// ResidentFingerprints returns the resident fingerprints in LRU order,
+// most-recently-hit first (test support: pins eviction order).
+func (cc *CompileCache) ResidentFingerprints() []string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	out := make([]string, 0, cc.lru.Len())
+	for el := cc.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).fp)
+	}
+	return out
 }
 
 // defaultCache is the process-wide compilation cache shared by core,
@@ -119,3 +186,7 @@ func Compile(d *DTD) (*Compiled, error) { return defaultCache.Get(d) }
 
 // CompileCacheStats snapshots the process-wide compilation cache.
 func CompileCacheStats() CacheStats { return defaultCache.Stats() }
+
+// PurgeCompiled drops fp from the process-wide compilation cache
+// (quarantine repair path).
+func PurgeCompiled(fp string) bool { return defaultCache.Purge(fp) }

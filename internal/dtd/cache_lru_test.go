@@ -1,0 +1,123 @@
+package dtd
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// smallSchema builds a distinct tiny DTD; i varies the root label so
+// each schema has its own fingerprint.
+func smallSchema(t *testing.T, i int) *DTD {
+	t.Helper()
+	d, err := Parse(fmt.Sprintf("r%d <- a, b\na <- #PCDATA\nb <- #PCDATA", i))
+	if err != nil {
+		t.Fatalf("parse schema %d: %v", i, err)
+	}
+	return d
+}
+
+// TestLRUEvictionOrder pins the deterministic eviction order: the
+// least-recently-hit resident is evicted first, and a hit refreshes
+// recency.
+func TestLRUEvictionOrder(t *testing.T) {
+	cc := NewCompileCache(3)
+	d := make([]*DTD, 4)
+	for i := range d {
+		d[i] = smallSchema(t, i)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cc.Get(d[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Recency now 2 > 1 > 0. Hit 0 to refresh it: 0 > 2 > 1.
+	if _, err := cc.Get(d[0]); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{d[0].Fingerprint(), d[2].Fingerprint(), d[1].Fingerprint()}
+	if got := cc.ResidentFingerprints(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("LRU order after hit = %v, want %v", got, want)
+	}
+	// Insert a fourth schema: d[1] (least recently hit) must go.
+	if _, err := cc.Get(d[3]); err != nil {
+		t.Fatal(err)
+	}
+	want = []string{d[3].Fingerprint(), d[0].Fingerprint(), d[2].Fingerprint()}
+	if got := cc.ResidentFingerprints(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("LRU order after eviction = %v, want %v", got, want)
+	}
+	st := cc.Stats()
+	if st.Evictions != 1 || st.Resident != 3 {
+		t.Fatalf("stats after one eviction: %+v", st)
+	}
+	// The evicted schema recompiles as a miss and evicts d[2] next.
+	if _, err := cc.Get(d[1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.ResidentFingerprints(); got[0] != d[1].Fingerprint() {
+		t.Fatalf("recompiled schema not most recent: %v", got)
+	}
+	if st := cc.Stats(); st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	cc := NewCompileCache(4)
+	d := smallSchema(t, 0)
+	c1, err := cc.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cc.Purge(d.Fingerprint()) {
+		t.Fatal("purge of resident fingerprint reported false")
+	}
+	if cc.Purge(d.Fingerprint()) {
+		t.Fatal("purge of absent fingerprint reported true")
+	}
+	c2, err := cc.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Fatal("purge did not force a recompile")
+	}
+	st := cc.Stats()
+	if st.Purges != 1 || st.Misses != 2 {
+		t.Fatalf("stats after purge+recompile: %+v", st)
+	}
+}
+
+// TestVerifyOnHitRepairsCorruption corrupts the resident artifact in
+// place and checks the next Get detects it, recompiles, and serves a
+// valid artifact.
+func TestVerifyOnHitRepairsCorruption(t *testing.T) {
+	cc := NewCompileCache(4)
+	d := smallSchema(t, 0)
+	c1, err := cc.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage the resident's reachability table the way a stray shared
+	// write would.
+	if c1.reach[0].Has(0) {
+		c1.reach[0].Remove(0)
+	} else {
+		c1.reach[0].Add(0)
+	}
+	c2, err := cc.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Fatal("corrupted resident served from cache")
+	}
+	if err := c2.Verify(); err != nil {
+		t.Fatalf("recompiled artifact fails Verify: %v", err)
+	}
+	st := cc.Stats()
+	if st.VerifyFailures != 1 {
+		t.Fatalf("verify failures = %d, want 1: %+v", st.VerifyFailures, st)
+	}
+}

@@ -55,6 +55,11 @@ type Compiled struct {
 	recCount  int
 	minHeight []int
 	byLabel   map[string]bitset.Set
+
+	// checksum digests the analysis-relevant tables at compilation
+	// time; Verify recomputes it so the CompileCache can reject a
+	// corrupted resident on hit (see verify.go).
+	checksum uint64
 }
 
 // NewCompiled compiles d into its dense artifact. It fails with a
@@ -181,6 +186,7 @@ func NewCompiled(d *DTD) (*Compiled, error) {
 		}
 		set.Add(i)
 	}
+	c.checksum = c.computeChecksum()
 	return c, nil
 }
 

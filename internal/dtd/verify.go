@@ -1,0 +1,158 @@
+package dtd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"xqindep/internal/bitset"
+)
+
+// This file is the artifact-integrity layer of the compiled schema:
+// every Compiled carries a content checksum stamped at construction,
+// and Verify re-derives it together with the structural invariants the
+// dense engines rely on. The CompileCache validates resident artifacts
+// on every hit, so a corrupted artifact (a stray write through a
+// shared bitset view, a future refactor mutating "immutable" tables)
+// is caught and recompiled *before* it can reach an analysis and
+// produce an unsound verdict. The sentinel's audit layer is the second
+// line of defense for corruption that slips past this one.
+
+// checksum digests the analysis-relevant tables of c. The walk order
+// is fully deterministic (dense SymID order, raw bitset words), so
+// equal artifacts hash equally across processes.
+func (c *Compiled) computeChecksum() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wSet := func(s bitset.Set) {
+		wInt(len(s))
+		for _, w := range s {
+			binary.LittleEndian.PutUint64(buf[:], w)
+			h.Write(buf[:])
+		}
+	}
+	n := len(c.syms)
+	wInt(n)
+	wInt(int(c.start))
+	wInt(int(c.stringSym))
+	for _, s := range c.syms {
+		wInt(len(s))
+		h.Write([]byte(s))
+	}
+	for i := 0; i < n; i++ {
+		wInt(len(c.children[i]))
+		for _, k := range c.children[i] {
+			wInt(int(k))
+		}
+		wSet(c.childSet[i])
+		wSet(c.reach[i])
+		wInt(c.minHeight[i])
+		// Sibling tables, in dense ID order; absent rows hash as empty.
+		for a := SymID(0); int(a) < n; a++ {
+			if fw := c.follow[i]; fw != nil {
+				if s, ok := fw[a]; ok {
+					wInt(int(a))
+					wSet(s)
+				}
+			}
+		}
+	}
+	wSet(c.recursive)
+	wInt(c.recCount)
+	return h.Sum64()
+}
+
+// Verify checks the artifact's structural invariants and content
+// checksum, returning a descriptive error on the first violation. It
+// is cheap relative to compilation (no regex work, no closure
+// computation) and runs on every CompileCache hit; a nil error means
+// the dense engines may trust every table.
+func (c *Compiled) Verify() error {
+	n := len(c.syms)
+	if n == 0 {
+		return fmt.Errorf("dtd: compiled artifact: empty symbol table")
+	}
+	if len(c.index) != n || len(c.children) != n || len(c.childSet) != n ||
+		len(c.reach) != n || len(c.minHeight) != n || len(c.parents) != n {
+		return fmt.Errorf("dtd: compiled artifact: table lengths disagree with |Σ|=%d", n)
+	}
+	if int(c.start) >= n || int(c.stringSym) >= n {
+		return fmt.Errorf("dtd: compiled artifact: start/string symbol out of range")
+	}
+	if c.syms[c.stringSym] != StringType {
+		return fmt.Errorf("dtd: compiled artifact: string symbol %d is %q", c.stringSym, c.syms[c.stringSym])
+	}
+	for i, name := range c.syms {
+		if got, ok := c.index[name]; !ok || int(got) != i {
+			return fmt.Errorf("dtd: compiled artifact: symbol index broken at %q", name)
+		}
+	}
+	for i := 0; i < n; i++ {
+		// Child list and successor bitset must agree exactly.
+		if got, want := c.childSet[i].Count(), len(c.children[i]); got != want {
+			return fmt.Errorf("dtd: compiled artifact: childSet[%s] has %d bits, child list %d", c.syms[i], got, want)
+		}
+		for _, k := range c.children[i] {
+			if int(k) >= n {
+				return fmt.Errorf("dtd: compiled artifact: child id %d of %s out of range", k, c.syms[i])
+			}
+			if !c.childSet[i].Has(int(k)) {
+				return fmt.Errorf("dtd: compiled artifact: childSet[%s] missing child %s", c.syms[i], c.syms[k])
+			}
+			// Closure property: reach is transitively closed over ⇒d.
+			if !c.reach[i].Has(int(k)) {
+				return fmt.Errorf("dtd: compiled artifact: reach[%s] missing direct child %s", c.syms[i], c.syms[k])
+			}
+			missing := -1
+			c.reach[k].ForEach(func(t int) {
+				if missing < 0 && !c.reach[i].Has(t) {
+					missing = t
+				}
+			})
+			if missing >= 0 {
+				return fmt.Errorf("dtd: compiled artifact: reach[%s] not closed: missing %s via %s",
+					c.syms[i], c.syms[missing], c.syms[k])
+			}
+		}
+	}
+	if got := c.computeChecksum(); got != c.checksum {
+		return fmt.Errorf("dtd: compiled artifact: content checksum mismatch (stamped %x, recomputed %x)", c.checksum, got)
+	}
+	return nil
+}
+
+// Checksum returns the content checksum stamped at compilation.
+func (c *Compiled) Checksum() uint64 { return c.checksum }
+
+// WithCorruption returns a copy of c whose reachability table has one
+// deterministically-chosen bit flipped and whose checksum is left
+// stale — exactly the damage a stray write through a shared bitset
+// view would do. It is chaos-test support for the faultinject
+// corrupt-artifact kind: the copy's tables are independent of c (the
+// original stays intact), Verify on the copy fails, and the dense
+// engines run on it without crashing — possibly producing wrong
+// verdicts, which is precisely what the sentinel's audit layer must
+// contain. Never use it outside tests and chaos harnesses.
+func (c *Compiled) WithCorruption(seed int64) *Compiled {
+	cc := *c
+	cc.reach = make([]bitset.Set, len(c.reach))
+	for i := range c.reach {
+		cc.reach[i] = c.reach[i].Clone()
+	}
+	n := len(cc.syms)
+	if n == 0 {
+		return &cc
+	}
+	i := int(uint64(seed) % uint64(n))
+	j := int((uint64(seed) / uint64(n)) % uint64(n))
+	if cc.reach[i].Has(j) {
+		cc.reach[i].Remove(j)
+	} else {
+		cc.reach[i].Add(j)
+	}
+	return &cc
+}

@@ -1,0 +1,79 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+const verifySchema = `lib <- book*
+book <- (title, author*, note?)
+title <- #PCDATA
+author <- #PCDATA
+note <- (note | title)*`
+
+func compiledFor(t *testing.T, src string) *Compiled {
+	t.Helper()
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCompiled(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestVerifyFreshArtifact(t *testing.T) {
+	c := compiledFor(t, verifySchema)
+	if err := c.Verify(); err != nil {
+		t.Fatalf("fresh artifact fails Verify: %v", err)
+	}
+	if c.Checksum() == 0 {
+		t.Fatal("checksum not stamped")
+	}
+}
+
+func TestChecksumDeterministic(t *testing.T) {
+	a := compiledFor(t, verifySchema)
+	b := compiledFor(t, verifySchema)
+	if a.Checksum() != b.Checksum() {
+		t.Fatalf("checksums differ for identical schemas: %x vs %x", a.Checksum(), b.Checksum())
+	}
+	other := compiledFor(t, "r <- a*\na <- #PCDATA")
+	if a.Checksum() == other.Checksum() {
+		t.Fatal("distinct schemas share a checksum")
+	}
+}
+
+func TestWithCorruptionFailsVerify(t *testing.T) {
+	c := compiledFor(t, verifySchema)
+	for seed := int64(1); seed <= 16; seed++ {
+		bad := c.WithCorruption(seed)
+		if err := bad.Verify(); err == nil {
+			t.Fatalf("seed %d: corrupted artifact passes Verify", seed)
+		}
+		// The original must stay intact: corruption clones the tables.
+		if err := c.Verify(); err != nil {
+			t.Fatalf("seed %d: corruption leaked into the original: %v", seed, err)
+		}
+	}
+}
+
+func TestVerifyDetectsStructuralDamage(t *testing.T) {
+	c := compiledFor(t, verifySchema)
+	// Flip a reach bit directly (stale checksum + possibly broken
+	// closure): Verify must fail either way.
+	if c.reach[0].Has(len(c.syms) - 1) {
+		c.reach[0].Remove(len(c.syms) - 1)
+	} else {
+		c.reach[0].Add(len(c.syms) - 1)
+	}
+	err := c.Verify()
+	if err == nil {
+		t.Fatal("damaged reach table passes Verify")
+	}
+	if !strings.Contains(err.Error(), "compiled artifact") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+}

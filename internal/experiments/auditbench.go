@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"xqindep/internal/core"
+	"xqindep/internal/quarantine"
+	"xqindep/internal/sentinel"
+	"xqindep/internal/server"
+	"xqindep/internal/xmark"
+)
+
+// The audit-overhead benchmark answers the operational question of the
+// sentinel layer: what does runtime verdict auditing cost the request
+// path? It runs the same XMark pair through two identically configured
+// pools — one bare, one with an auditor sampling at the given rate —
+// and compares request-latency percentiles. Observe is a non-blocking
+// O(1) enqueue and the re-derivations run on dedicated audit workers,
+// so the p50 overhead at production sample rates (~1%) must stay in
+// the noise; cmd/xqbench -audit-bench renders the comparison and
+// writes BENCH_sentinel.json.
+
+// LatencySummary condenses one latency distribution.
+type LatencySummary struct {
+	P50NS  int64 `json:"p50_ns"`
+	P95NS  int64 `json:"p95_ns"`
+	MeanNS int64 `json:"mean_ns"`
+}
+
+// AuditBench is the full audit-overhead comparison.
+type AuditBench struct {
+	View        string  `json:"view"`
+	Update      string  `json:"update"`
+	SampleRate  float64 `json:"sample_rate"`
+	Requests    int     `json:"requests"`
+	Independent bool    `json:"independent"` // verdict of the pair (audits fire only on true)
+
+	Baseline LatencySummary `json:"baseline"`
+	Audited  LatencySummary `json:"audited"`
+	// OverheadP50Pct/P95Pct are (audited-baseline)/baseline × 100;
+	// negative values are measurement noise.
+	OverheadP50Pct float64 `json:"overhead_p50_pct"`
+	OverheadP95Pct float64 `json:"overhead_p95_pct"`
+
+	// Audits snapshots the auditor after the run: Sampled documents the
+	// realized sampling, Disagreements must be zero on a healthy engine.
+	Audits sentinel.Stats `json:"audits"`
+}
+
+func summarize(lat []time.Duration) LatencySummary {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	pick := func(q float64) int64 {
+		i := int(q * float64(len(lat)-1))
+		return lat[i].Nanoseconds()
+	}
+	return LatencySummary{
+		P50NS:  pick(0.50),
+		P95NS:  pick(0.95),
+		MeanNS: (sum / time.Duration(len(lat))).Nanoseconds(),
+	}
+}
+
+func overheadPct(base, with int64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (float64(with) - float64(base)) / float64(base) * 100
+}
+
+// MeasureAuditBench measures request latency with and without runtime
+// auditing at rate over requests sequential analyses of the named
+// XMark pair.
+func MeasureAuditBench(view, update string, rate float64, requests int) (AuditBench, error) {
+	d := xmark.Schema()
+	v, ok := xmark.ViewByName(view)
+	if !ok {
+		return AuditBench{}, fmt.Errorf("unknown view %q", view)
+	}
+	u, ok := xmark.UpdateByName(update)
+	if !ok {
+		return AuditBench{}, fmt.Errorf("unknown update %q", update)
+	}
+	if requests <= 0 {
+		requests = 2000
+	}
+
+	task := server.Task{
+		Analyzer:   core.NewAnalyzer(d),
+		Query:      v.AST,
+		Update:     u.AST,
+		QueryText:  v.Name,
+		UpdateText: update,
+	}
+
+	bare := server.New(server.Config{Workers: 2})
+	defer bare.Close()
+	reg := quarantine.NewRegistry(quarantine.Config{})
+	aud := sentinel.New(sentinel.Config{
+		SampleRate: rate,
+		Seed:       1,
+		Quarantine: reg,
+		OracleDocs: 2,
+	})
+	defer aud.Close()
+	wired := server.New(server.Config{
+		Workers:    2,
+		Auditor:    aud,
+		Quarantine: reg,
+	})
+	defer wired.Close()
+
+	// Warmup both arms: compile the schema, fault in every lazy path.
+	independent := false
+	for i := 0; i < 32; i++ {
+		res, err := bare.Do(nil, task)
+		if err != nil {
+			return AuditBench{}, err
+		}
+		independent = res.Independent
+		if _, err := wired.Do(nil, task); err != nil {
+			return AuditBench{}, err
+		}
+	}
+
+	// Interleave the arms request by request so heap growth, GC pacing
+	// and CPU frequency drift hit both distributions equally.
+	base := make([]time.Duration, requests)
+	audited := make([]time.Duration, requests)
+	for i := 0; i < requests; i++ {
+		start := time.Now()
+		if _, err := bare.Do(nil, task); err != nil {
+			return AuditBench{}, err
+		}
+		base[i] = time.Since(start)
+		start = time.Now()
+		if _, err := wired.Do(nil, task); err != nil {
+			return AuditBench{}, err
+		}
+		audited[i] = time.Since(start)
+	}
+	aud.Flush()
+
+	ab := AuditBench{
+		View:        view,
+		Update:      update,
+		SampleRate:  rate,
+		Requests:    requests,
+		Independent: independent,
+		Baseline:    summarize(base),
+		Audited:     summarize(audited),
+		Audits:      aud.Stats(),
+	}
+	ab.OverheadP50Pct = overheadPct(ab.Baseline.P50NS, ab.Audited.P50NS)
+	ab.OverheadP95Pct = overheadPct(ab.Baseline.P95NS, ab.Audited.P95NS)
+	return ab, nil
+}
+
+// RenderAuditBench renders the comparison as a small table.
+func RenderAuditBench(ab AuditBench) string {
+	var b strings.Builder
+	verdict := "dependent"
+	if ab.Independent {
+		verdict = "independent"
+	}
+	fmt.Fprintf(&b, "Audit overhead (%s × %s, %s, sample rate %.2f%%, %d requests)\n",
+		ab.View, ab.Update, verdict, ab.SampleRate*100, ab.Requests)
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s\n", "", "p50 ns", "p95 ns", "mean ns")
+	fmt.Fprintf(&b, "%-10s %12d %12d %12d\n", "baseline", ab.Baseline.P50NS, ab.Baseline.P95NS, ab.Baseline.MeanNS)
+	fmt.Fprintf(&b, "%-10s %12d %12d %12d\n", "audited", ab.Audited.P50NS, ab.Audited.P95NS, ab.Audited.MeanNS)
+	fmt.Fprintf(&b, "overhead   p50 %+.2f%%  p95 %+.2f%%\n", ab.OverheadP50Pct, ab.OverheadP95Pct)
+	fmt.Fprintf(&b, "audits: observed=%d sampled=%d audited=%d agreements=%d disagreements=%d dropped=%d\n",
+		ab.Audits.Observed, ab.Audits.Sampled, ab.Audits.Audited,
+		ab.Audits.Agreements, ab.Audits.Disagreements, ab.Audits.Dropped)
+	return b.String()
+}

@@ -53,6 +53,21 @@ const (
 	// overload, timeout and drain tests. Never drawn by
 	// RandomSchedule.
 	KindStall
+	// KindCorruptArtifact fires only at "core.artifact": core swaps in
+	// a deterministically corrupted copy of the compiled schema for the
+	// remainder of the request, simulating resident-artifact damage.
+	// The sentinel audit layer must catch any unsound verdict that
+	// results. Never drawn by RandomSchedule: fixed-seed schedules from
+	// earlier chaos suites must keep reproducing bit-for-bit, so
+	// corruption schedules are built explicitly (see
+	// RandomAuditSchedule).
+	KindCorruptArtifact
+	// KindFlipVerdict fires only at "core.verdict": core flips the rung
+	// verdict it is about to return, simulating an unsound engine edge
+	// case the type system cannot rule out. Never drawn by
+	// RandomSchedule (same compatibility argument as
+	// KindCorruptArtifact).
+	KindFlipVerdict
 )
 
 func (k Kind) String() string {
@@ -65,6 +80,10 @@ func (k Kind) String() string {
 		return "panic"
 	case KindStall:
 		return "stall"
+	case KindCorruptArtifact:
+		return "corrupt-artifact"
+	case KindFlipVerdict:
+		return "flip-verdict"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -84,6 +103,8 @@ var Points = []string{
 	"cdag.conflict",  // CDAG conflict check start
 	"types.check",    // type-set baseline start
 	"paths.check",    // path-overlap baseline start
+	"core.artifact",  // compiled artifact selected for a request
+	"core.verdict",   // rung verdict about to be returned
 }
 
 // ErrInjected is the sentinel wrapped by every KindError injection.
@@ -139,6 +160,35 @@ func NewSchedule(faults ...Fault) *Schedule {
 func RandomSchedule(rng *rand.Rand, n int) *Schedule {
 	faults := make([]Fault, n)
 	for i := range faults {
+		faults[i] = Fault{
+			Point: Points[rng.Intn(len(Points))],
+			Kind:  Kind(rng.Intn(3)),
+			After: 1 + rng.Intn(3),
+		}
+	}
+	return NewSchedule(faults...)
+}
+
+// RandomAuditSchedule draws n faults for the sentinel containment
+// suite: each is either an unsoundness fault — corrupt-artifact at
+// "core.artifact" or flip-verdict at "core.verdict" — or one of the
+// classic kinds at a random point, all from rng so a fixed seed
+// reproduces the schedule. At least one unsoundness fault is always
+// armed (a containment run with nothing to contain proves nothing).
+func RandomAuditSchedule(rng *rand.Rand, n int) *Schedule {
+	if n < 1 {
+		n = 1
+	}
+	faults := make([]Fault, n)
+	for i := range faults {
+		if i == 0 || rng.Intn(2) == 0 {
+			if rng.Intn(2) == 0 {
+				faults[i] = Fault{Point: "core.artifact", Kind: KindCorruptArtifact, After: 1 + rng.Intn(3)}
+			} else {
+				faults[i] = Fault{Point: "core.verdict", Kind: KindFlipVerdict, After: 1 + rng.Intn(3)}
+			}
+			continue
+		}
 		faults[i] = Fault{
 			Point: Points[rng.Intn(len(Points))],
 			Kind:  Kind(rng.Intn(3)),
@@ -219,6 +269,10 @@ func (s *Schedule) fire(ctx context.Context, point string) error {
 	case KindStall:
 		<-ctx.Done()
 		return ctx.Err()
+	case KindCorruptArtifact:
+		return guard.ErrArtifactCorrupt
+	case KindFlipVerdict:
+		return guard.ErrVerdictFlip
 	default:
 		//xqvet:ignore panicdiscipline KindPanic deliberately injects a raw panic so harnesses can prove the guard boundary converts it
 		panic(PanicValue{Point: point})

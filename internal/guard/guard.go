@@ -41,6 +41,23 @@ import (
 // limit violation (deadline, k, chains, nodes, depth, input size).
 var ErrBudgetExceeded = errors.New("analysis budget exceeded")
 
+// Chaos sentinels. A fault hook can only return an error or panic —
+// it cannot reach into engine state — so the corrupt-artifact and
+// flip-verdict fault kinds (package faultinject) signal their effect
+// with these sentinels, which core interprets at the matching fault
+// points ("core.artifact", "core.verdict") and converts into the
+// actual corruption/flip. They never escape the analysis entry points;
+// the sentinel audit layer exists to prove the damage they cause is
+// contained.
+var (
+	// ErrArtifactCorrupt instructs core to run the analysis on a
+	// deterministically corrupted copy of the compiled schema artifact.
+	ErrArtifactCorrupt = errors.New("faultinject: corrupt compiled artifact")
+	// ErrVerdictFlip instructs core to flip the rung verdict it is
+	// about to return — simulating an unsound engine edge case.
+	ErrVerdictFlip = errors.New("faultinject: flip verdict")
+)
+
 // Limits bounds one analysis. The zero value of each field means "use
 // the package default" (see DefaultLimits); set a field to NoLimit to
 // disable that bound entirely.

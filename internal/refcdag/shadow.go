@@ -1,0 +1,20 @@
+package refcdag
+
+import (
+	"xqindep/internal/dtd"
+	"xqindep/internal/guard"
+	"xqindep/internal/xquery"
+)
+
+// Shadow is the audit layer's entry point (package sentinel): it
+// re-derives an independence verdict on this retained reference engine
+// — machinery deliberately independent of the dense compiled-schema
+// path that serves production verdicts — behind its own Recover
+// boundary, so a budget abort or internal panic comes back to the
+// auditor as an error instead of unwinding through it. It runs from
+// the source DTD, never from a compiled artifact, which is exactly why
+// it can catch artifact corruption the fast path cannot see.
+func Shadow(d *dtd.DTD, q xquery.Query, u xquery.Update, b *guard.Budget) (v Verdict, err error) {
+	defer guard.Recover(&err)
+	return IndependenceBudget(d, q, u, b), nil
+}

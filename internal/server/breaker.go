@@ -222,6 +222,22 @@ func (bs *breakerSet) trip(b *breaker) {
 	bs.stats.trips++
 }
 
+// retryAfter reports how long requests for fp will keep being
+// rejected: the remaining open window while the breaker is open, zero
+// otherwise (closed, half-open, or unknown fingerprint).
+func (bs *breakerSet) retryAfter(fp string) time.Duration {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[fp]
+	if b == nil || b.state != stOpen {
+		return 0
+	}
+	if d := b.openUntil.Sub(bs.now()); d > 0 {
+		return d
+	}
+	return 0
+}
+
 // stateOf reports the state name for a fingerprint (a never-seen
 // schema is closed).
 func (bs *breakerSet) stateOf(fp string) string {

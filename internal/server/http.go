@@ -8,12 +8,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"xqindep/internal/core"
 	"xqindep/internal/dtd"
 	"xqindep/internal/guard"
+	"xqindep/internal/quarantine"
+	"xqindep/internal/sentinel"
 	"xqindep/internal/xquery"
 )
 
@@ -49,8 +52,13 @@ type AnalyzeResponse struct {
 	Witnesses     []string `json:"witnesses,omitempty"`
 	ElapsedUS     int64    `json:"elapsed_us"`
 	CircuitOpen   bool     `json:"circuit_open,omitempty"`
+	Quarantined   bool     `json:"quarantined,omitempty"`
 	Schema        string   `json:"schema_fingerprint,omitempty"`
 	Error         string   `json:"error,omitempty"`
+	// RetryAfterSec, when positive, suggests how long to back off
+	// before retrying (mirrored into the HTTP Retry-After header on
+	// 429/503 and breaker-served responses).
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
 }
 
 // schemaCache memoizes schema text → analyzer so a hot serving loop
@@ -128,6 +136,7 @@ func NewHandler(s *Server) *Handler {
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
 	h.mux.HandleFunc("GET /readyz", h.handleReadyz)
 	h.mux.HandleFunc("GET /statz", h.handleStatz)
+	h.mux.HandleFunc("GET /incidentz", h.handleIncidentz)
 	return h
 }
 
@@ -143,11 +152,31 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain")
 	if !h.srv.Accepting() {
+		setRetryAfter(w, ceilSeconds(h.srv.drainHint(h.now())))
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
 		return
 	}
 	fmt.Fprintln(w, "ready")
+}
+
+// ceilSeconds renders a backoff as whole seconds, the granularity of
+// the Retry-After header, rounding up so a hint is never zero.
+func ceilSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func setRetryAfter(w http.ResponseWriter, seconds int) {
+	if seconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(seconds))
+	}
 }
 
 // StatzPayload is the /statz response: the server counters plus the
@@ -157,14 +186,53 @@ func (h *Handler) handleReadyz(w http.ResponseWriter, r *http.Request) {
 type StatzPayload struct {
 	Server       Stats          `json:"server"`
 	CompileCache dtd.CacheStats `json:"compile_cache"`
+	// Audit and Quarantine report the runtime verdict-audit layer;
+	// zero-valued when no auditor is wired.
+	Audit      sentinel.Stats   `json:"audit"`
+	Quarantine quarantine.Stats `json:"quarantine"`
+}
+
+// quarantineRegistry resolves the registry the pool consults.
+func (h *Handler) quarantineRegistry() *quarantine.Registry {
+	if h.srv.cfg.Quarantine != nil {
+		return h.srv.cfg.Quarantine
+	}
+	return quarantine.Shared()
 }
 
 func (h *Handler) handleStatz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(StatzPayload{
+	p := StatzPayload{
 		Server:       h.srv.Stats(),
 		CompileCache: dtd.CompileCacheStats(),
-	})
+		Quarantine:   h.quarantineRegistry().Stats(),
+	}
+	if a := h.srv.cfg.Auditor; a != nil {
+		p.Audit = a.Stats()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(p)
+}
+
+// IncidentzPayload is the /incidentz response: the audit incident ring
+// plus the quarantine registry snapshot that explains the containment
+// currently in force.
+type IncidentzPayload struct {
+	Audit      sentinel.Stats      `json:"audit"`
+	Quarantine quarantine.Stats    `json:"quarantine"`
+	Incidents  []sentinel.Incident `json:"incidents"`
+}
+
+func (h *Handler) handleIncidentz(w http.ResponseWriter, r *http.Request) {
+	p := IncidentzPayload{
+		Quarantine: h.quarantineRegistry().Stats(),
+		Incidents:  []sentinel.Incident{},
+	}
+	if a := h.srv.cfg.Auditor; a != nil {
+		p.Audit = a.Stats()
+		p.Incidents = a.Incidents()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(p)
 }
 
 func (h *Handler) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -175,6 +243,7 @@ func (h *Handler) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, code := h.Analyze(r.Context(), req)
+	setRetryAfter(w, resp.RetryAfterSec)
 	writeJSON(w, code, resp)
 }
 
@@ -239,13 +308,23 @@ func (h *Handler) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeRespo
 		Method:     method,
 		Limits:     guard.Limits{MaxNodes: req.MaxNodes, MaxChains: req.MaxChains, MaxK: req.MaxK},
 		NoFallback: req.NoFallback,
+		QueryText:  req.Query,
+		UpdateText: req.Update,
 	})
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrOverloaded):
-			return fail(http.StatusTooManyRequests, "%v", err)
+			// Shed by admission control: suggest the breaker's base
+			// backoff as the retry interval — it is the operator's one
+			// configured notion of "how long this workload needs to
+			// cool off".
+			r, code := fail(http.StatusTooManyRequests, "%v", err)
+			r.RetryAfterSec = ceilSeconds(h.srv.cfg.Breaker.Backoff)
+			return r, code
 		case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
-			return fail(http.StatusServiceUnavailable, "%v", err)
+			r, code := fail(http.StatusServiceUnavailable, "%v", err)
+			r.RetryAfterSec = ceilSeconds(h.srv.drainHint(h.now()))
+			return r, code
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			return fail(http.StatusServiceUnavailable, "%v", err)
 		default:
@@ -264,7 +343,13 @@ func (h *Handler) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeRespo
 		Witnesses:   res.Witnesses,
 		ElapsedUS:   h.now().Sub(start).Microseconds(),
 		CircuitOpen: errors.Is(res.Err, ErrCircuitOpen),
+		Quarantined: quarantine.IsQuarantined(res.Err),
 		Schema:      a.D.Fingerprint(),
+	}
+	if resp.CircuitOpen {
+		// Breaker-served conservative verdict: tell the client when the
+		// breaker's open window ends.
+		resp.RetryAfterSec = ceilSeconds(h.srv.breakers.retryAfter(a.D.Fingerprint()))
 	}
 	for _, m := range res.FallbackChain {
 		resp.FallbackChain = append(resp.FallbackChain, m.String())

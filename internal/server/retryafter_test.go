@@ -1,0 +1,149 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func analyzeBody(t *testing.T) []byte {
+	t.Helper()
+	b, err := json.Marshal(AnalyzeRequest{Schema: bibSchema, Query: "//title", Update: "delete //price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRetryAfterOnShed(t *testing.T) {
+	// The memory watermark gives a deterministic shed without having to
+	// wedge the queue: every admission is ErrOverloaded.
+	s := New(Config{
+		Workers:         1,
+		MemoryWatermark: 1,
+		MemoryUsage:     func() uint64 { return 2 },
+		Breaker:         BreakerConfig{Backoff: 7 * time.Second},
+	})
+	defer s.Close()
+	h := NewHandler(s)
+
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("POST", "/analyze", bytes.NewReader(analyzeBody(t))))
+	if rw.Code != 429 {
+		t.Fatalf("code %d: %s", rw.Code, rw.Body.String())
+	}
+	if got := rw.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After %q, want 7 (breaker base backoff)", got)
+	}
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(rw.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.RetryAfterSec != 7 {
+		t.Fatalf("retry_after_sec %d", resp.RetryAfterSec)
+	}
+}
+
+func TestRetryAfterOnDrain(t *testing.T) {
+	s := New(Config{Workers: 1, DrainTimeout: 30 * time.Second})
+	// Deadline-free Shutdown: the hint is the configured DrainTimeout,
+	// independent of the wall clock.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(s)
+	h.now = func() time.Time { return time.Unix(1000, 0) }
+
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("POST", "/analyze", bytes.NewReader(analyzeBody(t))))
+	if rw.Code != 503 {
+		t.Fatalf("code %d: %s", rw.Code, rw.Body.String())
+	}
+	if got := rw.Header().Get("Retry-After"); got != "30" {
+		t.Fatalf("analyze Retry-After %q, want 30 (drain timeout)", got)
+	}
+
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/readyz", nil))
+	if rw.Code != 503 {
+		t.Fatalf("readyz code %d", rw.Code)
+	}
+	if got := rw.Header().Get("Retry-After"); got != "30" {
+		t.Fatalf("readyz Retry-After %q, want 30", got)
+	}
+}
+
+// TestDrainHintDeadline pins the deadline arithmetic under an injected
+// clock: remaining window while it lasts, a one-second floor after it
+// expires, the configured DrainTimeout before Shutdown begins.
+func TestDrainHintDeadline(t *testing.T) {
+	s := New(Config{Workers: 1, DrainTimeout: 10 * time.Second})
+	defer s.Close()
+	base := time.Unix(5000, 0)
+
+	if got := s.drainHint(base); got != 10*time.Second {
+		t.Fatalf("pre-shutdown hint %v", got)
+	}
+	s.drainUntil.Store(base.Add(42 * time.Second).UnixNano())
+	if got := s.drainHint(base); got != 42*time.Second {
+		t.Fatalf("mid-drain hint %v", got)
+	}
+	if got := s.drainHint(base.Add(time.Minute)); got != time.Second {
+		t.Fatalf("expired-deadline hint %v, want the 1s floor", got)
+	}
+}
+
+func TestRetryAfterOnCircuitOpen(t *testing.T) {
+	s := New(Config{
+		Workers: 1,
+		Breaker: BreakerConfig{Threshold: 1, Backoff: 10 * time.Second},
+	})
+	defer s.Close()
+	frozen := time.Unix(9000, 0)
+	s.breakers.now = func() time.Time { return frozen }
+	h := NewHandler(s)
+
+	task := mustTask(t, bibSchema, "//title", "delete //price")
+	fp := task.Analyzer.D.Fingerprint()
+
+	// One budget blowup trips the threshold-1 breaker. The breaker is
+	// fed after the job's done signal, so wait on the trip counter.
+	if _, err := s.Do(blowupCtx(t), task); err != nil {
+		t.Fatal(err)
+	}
+	waitStat(t, s, func(st Stats) bool { return st.BreakerTrips == 1 }, "breaker trip")
+	if got := s.BreakerState(fp); got != "open" {
+		t.Fatalf("breaker %s after blowup", got)
+	}
+
+	// Breaker-served verdicts are 200s that still carry the hint: the
+	// remaining open window (exactly the backoff under the frozen clock
+	// and zero jitter).
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("POST", "/analyze", bytes.NewReader(analyzeBody(t))))
+	if rw.Code != 200 {
+		t.Fatalf("code %d: %s", rw.Code, rw.Body.String())
+	}
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(rw.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CircuitOpen || resp.Independent {
+		t.Fatalf("breaker-served response: %+v", resp)
+	}
+	if resp.RetryAfterSec != 10 {
+		t.Fatalf("retry_after_sec %d, want 10", resp.RetryAfterSec)
+	}
+	if got := rw.Header().Get("Retry-After"); got != "10" {
+		t.Fatalf("Retry-After %q, want 10", got)
+	}
+
+	// Half the window gone, hint shrinks with it.
+	frozen = frozen.Add(4 * time.Second)
+	if got := s.breakers.retryAfter(fp); got != 6*time.Second {
+		t.Fatalf("remaining window %v, want 6s", got)
+	}
+}

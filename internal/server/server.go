@@ -55,7 +55,10 @@ import (
 	"time"
 
 	"xqindep/internal/core"
+	"xqindep/internal/faultinject"
 	"xqindep/internal/guard"
+	"xqindep/internal/quarantine"
+	"xqindep/internal/sentinel"
 	"xqindep/internal/xquery"
 )
 
@@ -98,6 +101,24 @@ type Config struct {
 	Breaker BreakerConfig
 	// DrainTimeout bounds Close's graceful drain (default 10s).
 	DrainTimeout time.Duration
+	// Auditor, when non-nil, receives every completed analysis for
+	// sampling and runtime re-verification (package sentinel). The pool
+	// never waits on it: Observe is a bounded non-blocking enqueue.
+	Auditor *sentinel.Auditor
+	// Quarantine is the containment registry threaded into every
+	// analysis; nil selects the process-wide quarantine.Shared(). Wire
+	// the same registry here and into the Auditor.
+	Quarantine *quarantine.Registry
+	// MemoryWatermark, when positive, sheds admissions with
+	// ErrOverloaded while the process heap (per MemoryUsage) exceeds
+	// this many bytes — a soft limit in the spirit of
+	// runtime/debug.SetMemoryLimit that keeps audit buffers and queue
+	// growth from OOMing the daemon.
+	MemoryWatermark uint64
+	// MemoryUsage reads current heap usage for the watermark check;
+	// nil selects a runtime.ReadMemStats-based reader. Injectable for
+	// tests.
+	MemoryUsage func() uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +135,13 @@ func (c Config) withDefaults() Config {
 		c.DrainTimeout = 10 * time.Second
 	}
 	c.Breaker = c.Breaker.withDefaults()
+	if c.MemoryUsage == nil {
+		c.MemoryUsage = func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return ms.HeapAlloc
+		}
+	}
 	return c
 }
 
@@ -132,12 +160,16 @@ type Task struct {
 	Limits guard.Limits
 	// NoFallback disables the degradation ladder for this request.
 	NoFallback bool
+	// QueryText and UpdateText are the original source texts; optional,
+	// threaded into audit incident records when auditing is wired.
+	QueryText, UpdateText string
 }
 
 // Stats is a snapshot of the server counters.
 type Stats struct {
 	Admitted        uint64 // requests accepted into the queue
 	Shed            uint64 // rejected with ErrOverloaded
+	MemShed         uint64 // of Shed: rejected by the memory watermark
 	Rejected        uint64 // rejected with ErrDraining/ErrClosed
 	Completed       uint64 // analyses finished (any outcome)
 	Degraded        uint64 // completed with a degraded verdict
@@ -186,6 +218,7 @@ type Server struct {
 	inflight sync.WaitGroup
 
 	admitted, shed, rejected    atomic.Uint64
+	memShed                     atomic.Uint64
 	completed, degraded, failed atomic.Uint64
 	panics                      atomic.Uint64
 	inFlightN                   atomic.Int64
@@ -193,6 +226,9 @@ type Server struct {
 	shutdownOnce sync.Once
 	shutdownErr  error
 	closed       chan struct{}
+	// drainUntil is the drain deadline (unix nanos; 0 before Shutdown),
+	// the basis of Retry-After hints on 503 responses.
+	drainUntil atomic.Int64
 }
 
 // New starts a server with cfg's workers running.
@@ -238,6 +274,7 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		Admitted:        s.admitted.Load(),
 		Shed:            s.shed.Load(),
+		MemShed:         s.memShed.Load(),
 		Rejected:        s.rejected.Load(),
 		Completed:       s.completed.Load(),
 		Degraded:        s.degraded.Load(),
@@ -317,6 +354,14 @@ func (s *Server) admit(ctx context.Context, t Task, fp string) (*job, error) {
 	case stateClosed:
 		s.rejected.Add(1)
 		return nil, ErrClosed
+	}
+	if s.cfg.MemoryWatermark > 0 && s.cfg.MemoryUsage() > s.cfg.MemoryWatermark {
+		// Soft memory watermark exceeded: shed before touching the
+		// queue, so queued requests and audit buffers stop growing
+		// while the heap is hot.
+		s.memShed.Add(1)
+		s.shed.Add(1)
+		return nil, ErrOverloaded
 	}
 	admit, probe := s.breakers.allow(fp)
 	if !admit {
@@ -427,9 +472,33 @@ func (s *Server) process(j *job) {
 		}
 	case j.res.Degraded:
 		s.degraded.Add(1)
-		outcome = outcomeBlowup
+		if quarantine.IsQuarantined(j.res.Err) {
+			// A quarantine downgrade is containment working as designed,
+			// not a resource blowup on this schema: feeding it to the
+			// breaker would conflate the two state machines and trap the
+			// schema in the breaker long after the quarantine recovers.
+			outcome = outcomeNeutral
+		} else {
+			outcome = outcomeBlowup
+		}
 	}
 	s.breakers.record(j.fp, outcome, j.probe)
+
+	if s.cfg.Auditor != nil && j.err == nil {
+		var sched string
+		if sc := faultinject.FromContext(j.ctx); sc != nil {
+			sched = sc.String()
+		}
+		s.cfg.Auditor.Observe(sentinel.Observation{
+			D:             j.task.Analyzer.D,
+			Query:         j.task.Query,
+			Update:        j.task.Update,
+			QueryText:     j.task.QueryText,
+			UpdateText:    j.task.UpdateText,
+			Result:        j.res,
+			FaultSchedule: sched,
+		})
+	}
 }
 
 // analyze is the panic-isolation boundary of the serving glue; the
@@ -440,6 +509,7 @@ func (s *Server) analyze(ctx context.Context, t Task) (res core.Result, err erro
 	return t.Analyzer.AnalyzeContext(ctx, t.Query, t.Update, t.Method, core.Options{
 		Limits:     clamp(t.Limits, s.share),
 		NoFallback: t.NoFallback || s.cfg.NoFallback,
+		Quarantine: s.cfg.Quarantine,
 	})
 }
 
@@ -453,6 +523,14 @@ func (s *Server) analyze(ctx context.Context, t Task) (res core.Result, err erro
 // call's result.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.shutdownOnce.Do(func() {
+		if dl, ok := ctx.Deadline(); ok {
+			s.drainUntil.Store(dl.UnixNano())
+		} else {
+			// Deadline-free drain: advertise the configured DrainTimeout
+			// as a relative hint (negative marker keeps the field free of
+			// wall-clock reads).
+			s.drainUntil.Store(-int64(s.cfg.DrainTimeout))
+		}
 		s.admitMu.Lock()
 		s.state.Store(int32(stateDraining))
 		s.admitMu.Unlock()
@@ -480,6 +558,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	})
 	<-s.closed
 	return s.shutdownErr
+}
+
+// drainHint reports the suggested client Retry-After at now while the
+// server is draining or closed: the remaining drain window once
+// Shutdown has begun, the configured DrainTimeout before that, and a
+// floor of one second so clients never busy-loop on an expired
+// deadline.
+func (s *Server) drainHint(now time.Time) time.Duration {
+	v := s.drainUntil.Load()
+	switch {
+	case v == 0:
+		return s.cfg.DrainTimeout
+	case v < 0:
+		return time.Duration(-v)
+	default:
+		if d := time.Unix(0, v).Sub(now); d > time.Second {
+			return d
+		}
+		return time.Second
+	}
 }
 
 // Close shuts down with the configured DrainTimeout.

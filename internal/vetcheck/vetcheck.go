@@ -83,11 +83,12 @@ func DefaultConfig() Config {
 			"internal/bitset", "internal/cdag", "internal/chain",
 			"internal/core", "internal/dtd", "internal/eval",
 			"internal/faultinject", "internal/infer", "internal/pathanalysis",
-			"internal/preserve", "internal/refcdag", "internal/server",
+			"internal/preserve", "internal/quarantine", "internal/refcdag",
+			"internal/sentinel", "internal/server",
 			"internal/typeanalysis", "internal/xmark",
 			"internal/xmltree", "internal/xquery",
 		),
-		GoRecoverPackages: set("internal/server"),
+		GoRecoverPackages: set("internal/server", "internal/sentinel"),
 		BudgetPackages: set(
 			"internal/chain", "internal/cdag", "internal/infer",
 			"internal/typeanalysis", "internal/pathanalysis",
@@ -110,7 +111,10 @@ func DefaultConfig() Config {
 			"internal/server.Analyze",
 			"reportFromResult",
 		),
-		ClockPackages: set("internal/server", "internal/faultinject"),
+		ClockPackages: set(
+			"internal/server", "internal/faultinject",
+			"internal/quarantine", "internal/sentinel",
+		),
 	}
 }
 

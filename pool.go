@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"xqindep/internal/core"
+	"xqindep/internal/quarantine"
+	"xqindep/internal/sentinel"
 	"xqindep/internal/server"
 )
 
@@ -54,6 +56,32 @@ type PoolOptions struct {
 	BreakerMaxBackoff time.Duration
 	BreakerJitter     float64
 	BreakerSeed       int64
+	// AuditRate, when positive, enables the runtime verdict audit: the
+	// given fraction of Independent verdicts is re-derived off the
+	// request path on independent machinery (the reference chain engine
+	// plus a dynamic-oracle replay on generated documents); a
+	// disagreement quarantines the schema fingerprint so subsequent
+	// verdicts degrade to the conservative "not independent" until
+	// clean retrials recover it. 1 audits everything; 0 disables.
+	AuditRate float64
+	// AuditBudget bounds each audit re-derivation's node and chain
+	// consumption, keeping the audit lane from competing with serving
+	// (0 = the audit lane's own defaults).
+	AuditBudget int
+	// QuarantineAfter is the number of audit disagreements on one
+	// fingerprint that engages its quarantine (default 1 — a single
+	// refuted proof is already an unsoundness incident).
+	QuarantineAfter int
+	// AuditSeed seeds audit sampling and oracle document generation,
+	// making audit decisions reproducible (default 1).
+	AuditSeed int64
+	// AuditSpool, when non-nil, additionally receives every incident as
+	// one JSON object per line (an append-only audit trail; the in-memory
+	// incident ring is bounded).
+	AuditSpool io.Writer
+	// MemoryWatermark, when positive, sheds admissions while the process
+	// heap exceeds this many bytes.
+	MemoryWatermark uint64
 }
 
 // PoolStats snapshots the pool counters.
@@ -70,18 +98,22 @@ type PoolStats = server.Stats
 type Pool struct {
 	srv *server.Server
 	h   *server.Handler
+	aud *sentinel.Auditor
+	reg *quarantine.Registry
 }
 
 // NewPool starts a pool with its workers running. Callers must Close
 // (or Shutdown) it to release them.
 func NewPool(o PoolOptions) *Pool {
-	srv := server.New(server.Config{
-		Workers:        o.Workers,
-		QueueDepth:     o.QueueDepth,
-		Limits:         o.Limits,
-		RequestTimeout: o.RequestTimeout,
-		NoFallback:     o.NoFallback,
-		DrainTimeout:   o.DrainTimeout,
+	p := &Pool{}
+	cfg := server.Config{
+		Workers:         o.Workers,
+		QueueDepth:      o.QueueDepth,
+		Limits:          o.Limits,
+		RequestTimeout:  o.RequestTimeout,
+		NoFallback:      o.NoFallback,
+		DrainTimeout:    o.DrainTimeout,
+		MemoryWatermark: o.MemoryWatermark,
 		Breaker: server.BreakerConfig{
 			Threshold:  o.BreakerThreshold,
 			Backoff:    o.BreakerBackoff,
@@ -89,8 +121,22 @@ func NewPool(o PoolOptions) *Pool {
 			Jitter:     o.BreakerJitter,
 			Seed:       o.BreakerSeed,
 		},
-	})
-	return &Pool{srv: srv, h: server.NewHandler(srv)}
+	}
+	if o.AuditRate > 0 {
+		p.reg = quarantine.NewRegistry(quarantine.Config{QuarantineAfter: o.QuarantineAfter})
+		p.aud = sentinel.New(sentinel.Config{
+			SampleRate: o.AuditRate,
+			Seed:       o.AuditSeed,
+			Budget:     Limits{MaxNodes: o.AuditBudget, MaxChains: o.AuditBudget},
+			Quarantine: p.reg,
+			Spool:      o.AuditSpool,
+		})
+		cfg.Auditor = p.aud
+		cfg.Quarantine = p.reg
+	}
+	p.srv = server.New(cfg)
+	p.h = server.NewHandler(p.srv)
+	return p
 }
 
 // Analyze runs one analysis through admission control and the pool,
@@ -105,6 +151,8 @@ func (p *Pool) Analyze(ctx context.Context, s *Schema, q *Query, u *Update, m Me
 		Method:     m,
 		Limits:     opts.Limits,
 		NoFallback: opts.NoFallback,
+		QueryText:  q.src,
+		UpdateText: u.src,
 	})
 	if err != nil {
 		return Report{}, err
@@ -124,6 +172,65 @@ func (p *Pool) BreakerState(s *Schema) string {
 	return p.srv.BreakerState(s.Fingerprint())
 }
 
+// AuditStats snapshots the runtime verdict-audit counters; the zero
+// value when auditing is disabled.
+type AuditStats = sentinel.Stats
+
+// QuarantineStats snapshots the schema-quarantine registry.
+type QuarantineStats = quarantine.Stats
+
+// Incident is one recorded audit disagreement or dirty retrial.
+type Incident = sentinel.Incident
+
+// ErrQuarantined marks a conservative verdict served because the
+// schema's fingerprint is quarantined after an audit disagreement; it
+// unwraps to ErrBudgetExceeded. Test a Report's Err with errors.Is.
+var ErrQuarantined = quarantine.ErrQuarantined
+
+// AuditStats reports the audit-lane counters (zero when AuditRate is
+// 0) and the quarantine registry snapshot.
+func (p *Pool) AuditStats() (AuditStats, QuarantineStats) {
+	var a AuditStats
+	var q QuarantineStats
+	if p.aud != nil {
+		a = p.aud.Stats()
+	}
+	if p.reg != nil {
+		q = p.reg.Stats()
+	}
+	return a, q
+}
+
+// Flush blocks until every audit already handed to the audit lane has
+// completed, so a following AuditStats or Incidents call observes them.
+// Audits run asynchronously off the request path; without a Flush the
+// counters are only eventually consistent. No-op when auditing is
+// disabled.
+func (p *Pool) Flush() {
+	if p.aud != nil {
+		p.aud.Flush()
+	}
+}
+
+// Incidents returns the retained audit incidents, oldest first (empty
+// when auditing is disabled; the ring is bounded — wire an AuditSpool
+// for a complete trail).
+func (p *Pool) Incidents() []Incident {
+	if p.aud == nil {
+		return nil
+	}
+	return p.aud.Incidents()
+}
+
+// QuarantineState reports the schema's quarantine state: "clean",
+// "quarantined" or "half-open".
+func (p *Pool) QuarantineState(s *Schema) string {
+	if p.reg == nil {
+		return "clean"
+	}
+	return p.reg.State(s.Fingerprint())
+}
+
 // Handler returns the pool's HTTP front end: POST /analyze,
 // GET /healthz, /readyz and /statz (see cmd/xqindepd).
 func (p *Pool) Handler() http.Handler { return p.h }
@@ -137,11 +244,25 @@ func (p *Pool) RunBatch(ctx context.Context, r io.Reader, w io.Writer, defaultSc
 
 // Shutdown gracefully drains the pool: admission stops immediately,
 // in-flight work finishes until ctx expires, then is hard-cancelled.
-// The pool is fully stopped when Shutdown returns.
-func (p *Pool) Shutdown(ctx context.Context) error { return p.srv.Shutdown(ctx) }
+// The audit lane drains after the workers (pending audits finish; no
+// observation is lost to shutdown). The pool is fully stopped when
+// Shutdown returns.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	err := p.srv.Shutdown(ctx)
+	if p.aud != nil {
+		p.aud.Close()
+	}
+	return err
+}
 
 // Close is Shutdown under the configured DrainTimeout.
-func (p *Pool) Close() error { return p.srv.Close() }
+func (p *Pool) Close() error {
+	err := p.srv.Close()
+	if p.aud != nil {
+		p.aud.Close()
+	}
+	return err
+}
 
 // Serve runs the pool's HTTP API on addr until ctx is cancelled, then
 // performs a graceful drain: the listener stops, in-flight requests
