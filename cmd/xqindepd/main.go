@@ -26,7 +26,14 @@
 // is an unsoundness incident that quarantines the schema fingerprint —
 // its verdicts degrade to the conservative "not independent" until
 // clean retrials recover it. Incidents appear on /incidentz and, with
-// -audit-spool, as an append-only JSONL trail.
+// -audit-spool, as a size-capped rotating JSONL trail.
+//
+// With -state-dir the containment state is durable: every quarantine
+// transition is journaled (one fsynced record each) and incidents
+// spool under the directory; a restarted daemon replays the journal
+// before admitting work, so a fingerprint quarantined before a crash
+// is still refused after it. The boot recovery summary goes to stderr
+// and the live counters to /statz under "durability".
 //
 // Batch mode reads one JSON request per stdin line and writes one
 // JSON response per stdout line, in order:
@@ -48,10 +55,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"xqindep"
+	"xqindep/internal/statefile"
 )
 
 func main() {
@@ -81,7 +90,9 @@ func run() int {
 		auditBudget = flag.Int("audit-budget", 0, "node/chain budget per audit re-derivation (0 = audit-lane defaults)")
 		quarAfter   = flag.Int("quarantine-after", 1, "audit disagreements on one schema fingerprint that quarantine it")
 		auditSeed   = flag.Int64("audit-seed", 0, "audit sampling and oracle-document seed (0 = fixed default)")
-		auditSpool  = flag.String("audit-spool", "", "append audit incidents as JSON lines to this file")
+		auditSpool  = flag.String("audit-spool", "", "append audit incidents as JSON lines to this file (size-capped; rotated copies kept alongside)")
+		spoolMax    = flag.Int64("audit-spool-max", 0, "rotate -audit-spool after this many bytes (0 = 8 MiB); 4 rotated files are kept")
+		stateDir    = flag.String("state-dir", "", "durable state directory: quarantine decisions and audit incidents survive restarts (empty disables)")
 		memMark     = flag.Uint64("mem-watermark", 0, "shed admissions while heap usage exceeds this many bytes (0 disables)")
 	)
 	flag.Parse()
@@ -101,14 +112,21 @@ func run() int {
 		defaultSchema = string(b)
 	}
 
-	var spool *os.File
+	// The incident spool is a rotating, size-capped JSONL chain
+	// (<file>, <file>.1, ...); the audit lane's drain flushes it, so a
+	// SIGTERM never strands buffered incidents.
+	var spool *statefile.Spool
 	if *auditSpool != "" {
-		f, err := os.OpenFile(*auditSpool, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		dir, base := filepath.Split(filepath.Clean(*auditSpool))
+		if dir == "" {
+			dir = "."
+		}
+		sp, err := statefile.OpenSpool(statefile.OS(), filepath.Clean(dir), base, *spoolMax, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xqindepd:", err)
 			return 2
 		}
-		spool = f
+		spool = sp
 		defer spool.Close()
 	}
 
@@ -131,11 +149,31 @@ func run() int {
 		QuarantineAfter: *quarAfter,
 		AuditSeed:       *auditSeed,
 		MemoryWatermark: *memMark,
+		StateDir:        *stateDir,
 	}
 	if spool != nil {
 		opts.AuditSpool = spool
 	}
 	pool := xqindep.NewPool(opts)
+
+	if *stateDir != "" {
+		st, err := pool.StateStatus()
+		if err != nil {
+			// A daemon asked for durability must not silently serve
+			// without it.
+			fmt.Fprintln(os.Stderr, "xqindepd:", err)
+			pool.Close()
+			return 2
+		}
+		fmt.Fprintf(os.Stderr,
+			"xqindepd: state %s: restored %d quarantined fingerprint(s) (replayed %d journal record(s), snapshot=%v)\n",
+			st.Dir, st.RestoredFingerprints, st.RecoveredRecords, st.SnapshotLoaded)
+		if st.DiscardedRecords > 0 || st.SnapshotCorrupt || st.MalformedRecords > 0 {
+			fmt.Fprintf(os.Stderr,
+				"xqindepd: state %s: recovery discarded a torn tail (records=%d bytes=%d malformed=%d snapshot_corrupt=%v)\n",
+				st.Dir, st.DiscardedRecords, st.DiscardedBytes, st.MalformedRecords, st.SnapshotCorrupt)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

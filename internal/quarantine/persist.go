@@ -1,0 +1,181 @@
+package quarantine
+
+import (
+	"sort"
+	"time"
+)
+
+// Durable persistence for the containment registry.
+//
+// Quarantine decisions are the one piece of runtime state whose loss
+// changes verdict behaviour: a fingerprint quarantined before a crash
+// must still be downgraded after the restart, or the process reboots
+// into trusting an engine the auditor already caught lying. The
+// registry therefore journals every AUDIT-LANE transition — the ones
+// driven by evidence (Quarantine, RecordProbe) — through a hook
+// installed with SetJournal, and rebuilds itself from the replayed
+// records via Restore at boot.
+//
+// Clock-derived transitions (an active quarantine aging into
+// half-open inside Downgrade/TryProbe, a probe slot being claimed)
+// are deliberately NOT journaled: they carry no evidence, they are
+// recomputed from the restored deadlines, and journaling them would
+// put an fsync on the verdict-serving path.
+//
+// Deadlines are persisted as durations-remaining, not wall-clock
+// instants: a Record captured with 20s of backoff left is restored as
+// openUntil = now+20s on whatever clock the rebooted process runs,
+// so a clock jump across the restart can only lengthen a quarantine,
+// never silently expire one.
+
+// Record is the durable snapshot of one fingerprint's containment
+// state. Records are last-writer-wins per fingerprint: replaying a
+// sequence of them in order and keeping the final state per
+// fingerprint reproduces the registry, which makes journal replay
+// trivially idempotent.
+type Record struct {
+	Fingerprint string `json:"fp"`
+	// State is one of "watched" (disagreements below the engagement
+	// threshold), "quarantined", "half-open", or "clean" (lifted —
+	// replay removes the fingerprint).
+	State         string        `json:"state"`
+	Disagreements int           `json:"disagreements,omitempty"`
+	Trips         int           `json:"trips,omitempty"`
+	Purged        bool          `json:"purged,omitempty"`
+	Backoff       time.Duration `json:"backoff,omitempty"`
+	// Remaining is how much of the active backoff window was left when
+	// the record was captured; Restore rebases it onto its own clock.
+	Remaining time.Duration `json:"remaining,omitempty"`
+	Clean     int           `json:"clean,omitempty"`
+}
+
+// Record state names.
+const (
+	StateWatched     = "watched"
+	StateQuarantined = "quarantined"
+	StateHalfOpen    = "half-open"
+	StateClean       = "clean"
+)
+
+// SetJournal installs the journal hook. After every audit-lane
+// transition the registry calls fn with the fingerprint's new Record,
+// under the registry lock — so transition order on disk matches
+// transition order in memory. fn must not call back into the registry
+// and should return quickly (it typically appends to a
+// statefile.Store, i.e. one fsync); audit-lane transitions are rare
+// and off the verdict-serving path, so the held lock is acceptable.
+// A nil fn disables journaling.
+func (r *Registry) SetJournal(fn func(Record)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.journal = fn
+}
+
+// recordLocked captures fp's current state as a Record.
+func (r *Registry) recordLocked(fp string) Record {
+	e := r.m[fp]
+	if e == nil {
+		return Record{Fingerprint: fp, State: StateClean}
+	}
+	rec := Record{
+		Fingerprint:   fp,
+		Disagreements: e.disagreements,
+		Trips:         e.trips,
+		Purged:        e.purged,
+		Backoff:       e.backoff,
+		Clean:         e.clean,
+	}
+	switch {
+	case e.trips == 0:
+		rec.State = StateWatched
+	case e.state == qHalfOpen:
+		rec.State = StateHalfOpen
+	default:
+		rec.State = StateQuarantined
+		if rem := e.openUntil.Sub(r.now()); rem > 0 {
+			rec.Remaining = rem
+		}
+	}
+	return rec
+}
+
+// journalLocked emits fp's current record to the installed hook.
+func (r *Registry) journalLocked(fp string) {
+	if r.journal != nil {
+		r.journal(r.recordLocked(fp))
+	}
+}
+
+// Export captures every tracked fingerprint, sorted, for a snapshot.
+// Replaying Restore(Export()) on a fresh registry reproduces the
+// containment state (with backoff deadlines rebased).
+func (r *Registry) Export() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fps := make([]string, 0, len(r.m))
+	for fp := range r.m {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	recs := make([]Record, 0, len(fps))
+	for _, fp := range fps {
+		recs = append(recs, r.recordLocked(fp))
+	}
+	return recs
+}
+
+// Restore replays records into the registry, last writer winning per
+// fingerprint, rebasing every Remaining onto the registry clock. It
+// is meant to run once at boot, before the registry serves Downgrade
+// decisions; restored records are NOT re-journaled (the caller's next
+// snapshot compacts them). A restored half-open fingerprint forgets
+// any in-flight probe — the slot re-opens, which can only delay
+// recovery, never weaken containment. Restore returns the number of
+// fingerprints held (quarantined or half-open) afterwards.
+func (r *Registry) Restore(recs []Record) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rec := range recs {
+		if rec.Fingerprint == "" {
+			continue
+		}
+		if rec.State == StateClean {
+			delete(r.m, rec.Fingerprint)
+			continue
+		}
+		e := &entry{
+			disagreements: rec.Disagreements,
+			trips:         rec.Trips,
+			purged:        rec.Purged,
+			backoff:       rec.Backoff,
+			clean:         rec.Clean,
+		}
+		switch rec.State {
+		case StateHalfOpen:
+			e.state = qHalfOpen
+		default:
+			// "watched" entries have trips == 0 and never downgrade;
+			// "quarantined" entries re-arm with the remaining backoff on
+			// this process's clock.
+			e.state = qActive
+			e.openUntil = r.now().Add(rec.Remaining)
+		}
+		r.m[rec.Fingerprint] = e
+	}
+	held := 0
+	for _, e := range r.m {
+		if e.trips > 0 {
+			held++
+		}
+	}
+	return held
+}

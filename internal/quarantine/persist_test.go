@@ -1,0 +1,157 @@
+package quarantine
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for driving backoff windows.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newClock() *fakeClock { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func TestJournalHookEmitsAuditLaneTransitions(t *testing.T) {
+	clk := newClock()
+	r := NewRegistry(Config{Backoff: 10 * time.Second, RecoverAfter: 2})
+	r.SetNow(clk.now)
+	var recs []Record
+	r.SetJournal(func(rec Record) { recs = append(recs, rec) })
+
+	r.Quarantine("fp1")
+	if len(recs) != 1 || recs[0].State != StateQuarantined || recs[0].Remaining != 10*time.Second {
+		t.Fatalf("after quarantine: %+v", recs)
+	}
+
+	clk.advance(11 * time.Second)
+	if !r.Downgrade("fp1") {
+		t.Fatal("fp1 not downgraded")
+	}
+	// The active→half-open aging inside Downgrade is clock-derived and
+	// must NOT journal.
+	if len(recs) != 1 {
+		t.Fatalf("clock transition journaled: %+v", recs)
+	}
+
+	if !r.TryProbe("fp1") {
+		t.Fatal("probe slot not claimed")
+	}
+	r.RecordProbe("fp1", ProbeClean)
+	if len(recs) != 2 || recs[1].State != StateHalfOpen || recs[1].Clean != 1 {
+		t.Fatalf("after clean probe: %+v", recs)
+	}
+
+	r.TryProbe("fp1")
+	r.RecordProbe("fp1", ProbeClean) // second clean lifts it
+	if len(recs) != 3 || recs[2].State != StateClean {
+		t.Fatalf("after recovery: %+v", recs)
+	}
+}
+
+func TestRestoreRebasesBackoffOntoNewClock(t *testing.T) {
+	clk := newClock()
+	r := NewRegistry(Config{Backoff: 30 * time.Second})
+	r.SetNow(clk.now)
+	r.Quarantine("fp1")
+	clk.advance(10 * time.Second) // 20s of backoff left
+	recs := r.Export()
+	if len(recs) != 1 || recs[0].Remaining != 20*time.Second {
+		t.Fatalf("export: %+v", recs)
+	}
+
+	// "Reboot" onto a clock that jumped far backwards: the quarantine
+	// must still hold for its remaining 20s, not expire or extend.
+	clk2 := &fakeClock{t: time.Unix(1000, 0)}
+	r2 := NewRegistry(Config{Backoff: 30 * time.Second})
+	r2.SetNow(clk2.now)
+	if held := r2.Restore(recs); held != 1 {
+		t.Fatalf("restored %d held", held)
+	}
+	if !r2.Downgrade("fp1") {
+		t.Fatal("restored quarantine not downgrading")
+	}
+	if r2.State("fp1") != "quarantined" {
+		t.Fatalf("state: %s", r2.State("fp1"))
+	}
+	clk2.advance(21 * time.Second)
+	r2.Downgrade("fp1")
+	if r2.State("fp1") != "half-open" {
+		t.Fatalf("after remaining elapsed: %s", r2.State("fp1"))
+	}
+}
+
+func TestRestoreLastWriterWinsAndClean(t *testing.T) {
+	r := NewRegistry(Config{})
+	n := r.Restore([]Record{
+		{Fingerprint: "a", State: StateQuarantined, Trips: 1, Backoff: time.Second},
+		{Fingerprint: "b", State: StateQuarantined, Trips: 2, Backoff: time.Second},
+		{Fingerprint: "a", State: StateClean}, // later record wins
+		{Fingerprint: "c", State: StateWatched, Disagreements: 1},
+		{Fingerprint: "", State: StateQuarantined}, // garbage: ignored
+	})
+	if n != 1 {
+		t.Fatalf("held after restore: %d", n)
+	}
+	if r.State("a") != "clean" || r.State("b") != "quarantined" || r.State("c") != "clean" {
+		t.Fatalf("states: a=%s b=%s c=%s", r.State("a"), r.State("b"), r.State("c"))
+	}
+	// The watched entry's disagreement count survived: one more
+	// disagreement with QuarantineAfter=2 engages.
+	r2 := NewRegistry(Config{QuarantineAfter: 2})
+	r2.Restore([]Record{{Fingerprint: "c", State: StateWatched, Disagreements: 1}})
+	if purge := r2.Quarantine("c"); !purge {
+		t.Fatal("restored watched count did not engage quarantine")
+	}
+}
+
+func TestRestoreHalfOpenForgetsProbe(t *testing.T) {
+	clk := newClock()
+	r := NewRegistry(Config{Backoff: time.Second})
+	r.SetNow(clk.now)
+	r.Quarantine("fp")
+	clk.advance(2 * time.Second)
+	r.TryProbe("fp") // slot claimed, probe in flight
+	recs := r.Export()
+
+	r2 := NewRegistry(Config{Backoff: time.Second})
+	r2.SetNow(clk.now)
+	r2.Restore(recs)
+	if r2.State("fp") != "half-open" {
+		t.Fatalf("state: %s", r2.State("fp"))
+	}
+	if !r2.TryProbe("fp") {
+		t.Fatal("probe slot still held across restart")
+	}
+}
+
+func TestExportRestoreRoundTripReproducesRegistry(t *testing.T) {
+	clk := newClock()
+	r := NewRegistry(Config{Backoff: 5 * time.Second, RecoverAfter: 3})
+	r.SetNow(clk.now)
+	r.Quarantine("x")
+	r.Quarantine("y")
+	r.Quarantine("y") // re-trip: doubled backoff
+	clk.advance(3 * time.Second)
+
+	r2 := NewRegistry(Config{Backoff: 5 * time.Second, RecoverAfter: 3})
+	r2.SetNow(clk.now)
+	r2.Restore(r.Export())
+	for _, fp := range []string{"x", "y"} {
+		if r.State(fp) != r2.State(fp) {
+			t.Fatalf("%s: %s vs %s", fp, r.State(fp), r2.State(fp))
+		}
+		if !r2.Downgrade(fp) {
+			t.Fatalf("%s not downgraded after restore", fp)
+		}
+	}
+	// x had 2s of its 5s backoff left; y re-tripped to 10s with 7s
+	// advanced... confirm the windows re-open independently.
+	clk.advance(3 * time.Second) // x's remaining elapsed, y's (10s-? ) not
+	r2.Downgrade("x")
+	r2.Downgrade("y")
+	if r2.State("x") != "half-open" || r2.State("y") != "quarantined" {
+		t.Fatalf("windows: x=%s y=%s", r2.State("x"), r2.State("y"))
+	}
+}

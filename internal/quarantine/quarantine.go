@@ -130,10 +130,11 @@ type FingerprintState struct {
 // Registry holds the quarantined fingerprints. The zero value is not
 // usable; construct with NewRegistry or use Shared.
 type Registry struct {
-	mu  sync.Mutex
-	cfg Config
-	m   map[string]*entry
-	now func() time.Time
+	mu      sync.Mutex
+	cfg     Config
+	m       map[string]*entry
+	now     func() time.Time
+	journal func(Record) // audit-lane transition hook; see persist.go
 
 	trips, disagreements, probes, recovered, downgrades int64
 }
@@ -208,6 +209,7 @@ func (r *Registry) Quarantine(fp string) (purge bool) {
 	e.disagreements++
 	r.disagreements++
 	if e.disagreements < r.cfg.QuarantineAfter && e.trips == 0 {
+		r.journalLocked(fp)
 		return false
 	}
 	if e.backoff == 0 {
@@ -224,11 +226,10 @@ func (r *Registry) Quarantine(fp string) (purge bool) {
 	e.probing = false
 	e.trips++
 	r.trips++
-	if !e.purged {
-		e.purged = true
-		return true
-	}
-	return false
+	purge = !e.purged
+	e.purged = true
+	r.journalLocked(fp)
+	return purge
 }
 
 // TryProbe claims the single half-open retrial slot for fp. It
@@ -290,6 +291,7 @@ func (r *Registry) RecordProbe(fp string, o ProbeOutcome) {
 			delete(r.m, fp)
 			r.recovered++
 		}
+		r.journalLocked(fp)
 	case ProbeDirty:
 		e.backoff *= 2
 		if e.backoff > r.cfg.MaxBackoff {
@@ -300,6 +302,7 @@ func (r *Registry) RecordProbe(fp string, o ProbeOutcome) {
 		e.clean = 0
 		e.trips++
 		r.trips++
+		r.journalLocked(fp)
 	}
 }
 

@@ -1,0 +1,142 @@
+package sentinel
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"xqindep/internal/core"
+	"xqindep/internal/faultinject"
+	"xqindep/internal/quarantine"
+	"xqindep/internal/statefile"
+	"xqindep/internal/xquery"
+)
+
+// The drain-vs-budget satellite proof: an in-flight audit whose guard
+// budget would outlive the drain deadline is hard-cancelled by
+// Shutdown, and nothing already journaled — neither the spooled
+// incident nor the quarantine transition — is lost. The wedge is a
+// KindStall fault on the audit lane's own base context: the shadow
+// engine blocks at "cdag.build" until that context dies, which is
+// exactly an audit that will never finish on its own.
+func TestShutdownHardCancelsWedgedAuditWithoutLosingState(t *testing.T) {
+	faultinject.Enable()
+
+	mem := statefile.NewMemFS()
+	store, _, err := statefile.Open(mem, "state", statefile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spool, err := statefile.OpenSpool(mem, "state", "incidents.jsonl", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := quarantine.NewRegistry(quarantine.Config{Backoff: time.Hour})
+	reg.SetJournal(func(rec quarantine.Record) {
+		b, merr := json.Marshal(rec)
+		if merr != nil {
+			t.Errorf("marshal quarantine record: %v", merr)
+			return
+		}
+		if aerr := store.Append(b); aerr != nil {
+			t.Errorf("journal quarantine record: %v", aerr)
+		}
+	})
+
+	// The audit lane's schedule: the SECOND audit to reach the shadow
+	// engine stalls until the base context is cancelled. (The first
+	// audit — the one that must land an incident — passes untouched.)
+	wedged := make(chan struct{})
+	sched := faultinject.NewSchedule(faultinject.Fault{
+		Point: "cdag.build", Kind: faultinject.KindStall, After: 2,
+	})
+	sched.OnFire = func(faultinject.Fault) { close(wedged) }
+
+	aud := New(Config{
+		SampleRate:  1,
+		Quarantine:  reg,
+		OracleDocs:  -1, // shadow-only: keeps the stall the sole blocker
+		Spool:       spool,
+		BaseContext: faultinject.With(context.Background(), sched),
+	})
+
+	// Audit 1: a flipped Independent verdict for a dependent pair →
+	// disagreement → incident spooled, fingerprint quarantined and
+	// journaled.
+	q := xquery.MustParseQuery("//title")
+	u := xquery.MustParseUpdate("delete //title")
+	flip := faultinject.NewSchedule(faultinject.Fault{Point: "core.verdict", Kind: faultinject.KindFlipVerdict})
+	res, err := core.NewAnalyzer(bib).AnalyzeContext(
+		faultinject.With(context.Background(), flip), q, u,
+		core.MethodChains, core.Options{Quarantine: reg})
+	if err != nil || !res.Independent {
+		t.Fatalf("flip not served: %+v, %v", res, err)
+	}
+	aud.Observe(Observation{D: bib, Query: q, Update: u, QueryText: "//title", UpdateText: "delete //title", Result: res})
+	aud.Flush()
+	if st := aud.Stats(); st.Disagreements != 1 || st.Incidents != 1 {
+		t.Fatalf("incident not recorded: %+v", st)
+	}
+
+	// Audit 2: a legitimate Independent verdict; its shadow wedges at
+	// cdag.build and would hold the worker forever.
+	q2 := xquery.MustParseQuery("//title")
+	u2 := xquery.MustParseUpdate("delete //price")
+	res2, err := core.NewAnalyzer(bib).AnalyzeContext(context.Background(), q2, u2, core.MethodChains, core.Options{})
+	if err != nil || !res2.Independent {
+		t.Fatalf("independent pair not served: %+v, %v", res2, err)
+	}
+	aud.Observe(Observation{D: bib, Query: q2, Update: u2, QueryText: "//title", UpdateText: "delete //price", Result: res2})
+	<-wedged // the worker is now provably stuck inside the audit
+
+	// Drain with a deadline the wedged audit cannot meet.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := aud.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded (hard cancel)", err)
+	}
+
+	// The wedged audit was cancelled and counted inconclusive, not
+	// lost in limbo; no disagreement was fabricated for it.
+	st := aud.Stats()
+	if st.Audited != 2 || st.Inconclusive != 1 || st.Disagreements != 1 {
+		t.Fatalf("post-shutdown stats: %+v", st)
+	}
+
+	// The incident spool was flushed during drain: the pre-crash
+	// incident is durable (what a reboot would read), not just
+	// buffered.
+	durable, ok := mem.Durable("state/incidents.jsonl")
+	if !ok || !strings.Contains(string(durable), `"audit-disagreement"`) {
+		t.Fatalf("incident not durable after drain: %q", durable)
+	}
+
+	// The quarantine journal survived too: a fresh registry restored
+	// from the replayed records still refuses the fingerprint.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := statefile.Open(mem, "state", statefile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []quarantine.Record
+	for _, raw := range rec.Records {
+		var qr quarantine.Record
+		if err := json.Unmarshal(raw, &qr); err != nil {
+			t.Fatalf("replayed record does not decode: %v (%q)", err, raw)
+		}
+		recs = append(recs, qr)
+	}
+	reg2 := quarantine.NewRegistry(quarantine.Config{})
+	if held := reg2.Restore(recs); held != 1 {
+		t.Fatalf("restored %d held fingerprints, want 1 (records %+v)", held, recs)
+	}
+	if !reg2.Downgrade(bib.Fingerprint()) {
+		t.Fatal("restored registry does not downgrade the pre-shutdown quarantine")
+	}
+}

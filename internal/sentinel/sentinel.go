@@ -70,6 +70,11 @@ type Config struct {
 	OracleDocs int
 	// RingSize bounds the in-memory incident ring (default 128).
 	RingSize int
+	// BaseContext, when non-nil, parents the auditor's lifecycle
+	// context (default context.Background()). Chaos harnesses attach
+	// fault schedules here to inject faults into the audit lane itself;
+	// cancelling it is equivalent to the hard-cancel leg of Shutdown.
+	BaseContext context.Context
 	// Spool, when non-nil, receives every incident as one JSON line.
 	Spool io.Writer
 }
@@ -143,6 +148,13 @@ type Auditor struct {
 	cfg Config
 	reg *quarantine.Registry
 
+	// base is the auditor's own lifecycle context: every audit budget
+	// derives from it, so Shutdown can hard-cancel in-flight audits
+	// whose guard.Limits budget would otherwise outlive the drain
+	// deadline.
+	base   context.Context
+	cancel context.CancelFunc
+
 	queue   chan job
 	workers sync.WaitGroup
 	pending sync.WaitGroup
@@ -159,14 +171,21 @@ type Auditor struct {
 // New starts an auditor with cfg's workers running.
 func New(cfg Config) *Auditor {
 	cfg = cfg.withDefaults()
+	parent := cfg.BaseContext
+	if parent == nil {
+		parent = context.Background()
+	}
+	base, cancel := context.WithCancel(parent)
 	a := &Auditor{
-		cfg:   cfg,
-		reg:   cfg.Quarantine,
-		queue: make(chan job, cfg.QueueDepth),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		now:   time.Now, //xqvet:ignore clockinject injectable-clock default; tests replace via SetNow
-		ring:  newRing(cfg.RingSize),
-		docs:  make(map[string][]xmltree.Tree),
+		cfg:    cfg,
+		reg:    cfg.Quarantine,
+		base:   base,
+		cancel: cancel,
+		queue:  make(chan job, cfg.QueueDepth),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		now:    time.Now, //xqvet:ignore clockinject injectable-clock default; tests replace via SetNow
+		ring:   newRing(cfg.RingSize),
+		docs:   make(map[string][]xmltree.Tree),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		a.workers.Add(1)
@@ -239,17 +258,63 @@ func (a *Auditor) enqueueLocked(j job, fp string) {
 // stop the auditor.
 func (a *Auditor) Flush() { a.pending.Wait() }
 
-// Close drains and stops the workers. Observe becomes a no-op.
+// Close drains and stops the workers, waiting however long the
+// in-flight audits take. Observe becomes a no-op.
 func (a *Auditor) Close() {
+	//xqvet:ignore ctxflow lifecycle teardown: Close is the unbounded variant of Shutdown
+	_ = a.Shutdown(context.Background())
+}
+
+// Shutdown stops the auditor within ctx's deadline. New observations
+// are refused immediately; queued and in-flight audits run until ctx
+// expires, at which point the auditor's base context is cancelled —
+// hard-cancelling any audit whose own guard budget would outlive the
+// drain — and Shutdown waits for the workers to unwind (prompt, since
+// every audit budget observes the base context at its guard points).
+// The spool, when it supports flushing (statefile.Spool does), is
+// flushed after the workers exit so every recorded incident is
+// durable before the process goes away. Returns ctx.Err() when the
+// deadline forced a hard cancel, nil on a clean drain.
+func (a *Auditor) Shutdown(ctx context.Context) error {
 	a.mu.Lock()
-	if a.closed {
-		a.mu.Unlock()
+	if !a.closed {
+		a.closed = true
+		close(a.queue)
+	}
+	a.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer guard.OnPanic(func(*guard.InternalError) {})
+		a.workers.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		a.cancel()
+		<-done
+	}
+	a.cancel()
+	a.flushSpool()
+	return err
+}
+
+// flushSpool makes spooled incidents durable when the spool supports
+// it; flush failures are counted, not fatal (the process is going
+// away either way).
+func (a *Auditor) flushSpool() {
+	f, ok := a.cfg.Spool.(interface{ Flush() error })
+	if !ok {
 		return
 	}
-	a.closed = true
-	close(a.queue)
-	a.mu.Unlock()
-	a.workers.Wait()
+	if err := f.Flush(); err != nil {
+		a.mu.Lock()
+		a.st.SpoolErrors++
+		a.mu.Unlock()
+	}
 }
 
 // Stats snapshots the auditor counters.
@@ -313,8 +378,10 @@ func (a *Auditor) verdictOf(o Observation) (unsound bool, witness int, shadow re
 	// faults it is auditing.
 	func() {
 		defer guard.Recover(&shadowErr)
-		//xqvet:ignore ctxflow audit isolation: the shadow must not inherit the audited request's context (fault schedule, deadline)
-		b := guard.New(context.Background(), a.cfg.Budget)
+		// The audit budget derives from the auditor's base context — not
+		// the audited request's (fault-schedule isolation), and not a
+		// bare Background (Shutdown must be able to hard-cancel it).
+		b := guard.New(a.base, a.cfg.Budget)
 		shadow = refcdag.IndependenceBudget(o.D, o.Query, o.Update, b)
 	}()
 	witness = -1
@@ -378,8 +445,9 @@ func (a *Auditor) retrial(o Observation) {
 	fp := o.D.Fingerprint()
 	bypass := quarantine.NewRegistry(quarantine.Config{})
 	res, err := core.NewAnalyzer(o.D).AnalyzeContext(
-		//xqvet:ignore ctxflow audit isolation: retrials run off the request path on the auditor's own context
-		context.Background(), o.Query, o.Update, core.MethodChains,
+		// Retrials run off the request path on the auditor's base
+		// context, so Shutdown can hard-cancel a wedged one.
+		a.base, o.Query, o.Update, core.MethodChains,
 		core.Options{Limits: a.cfg.Budget, Quarantine: bypass})
 	if err != nil || res.Degraded {
 		a.reg.RecordProbe(fp, quarantine.ProbeInconclusive)

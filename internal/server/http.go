@@ -190,6 +190,9 @@ type StatzPayload struct {
 	// zero-valued when no auditor is wired.
 	Audit      sentinel.Stats   `json:"audit"`
 	Quarantine quarantine.Stats `json:"quarantine"`
+	// Durability reports the crash-safe state layer (journal, snapshot,
+	// incident spool); nil when the daemon runs without -state-dir.
+	Durability *DurabilityStatus `json:"durability,omitempty"`
 }
 
 // quarantineRegistry resolves the registry the pool consults.
@@ -208,6 +211,10 @@ func (h *Handler) handleStatz(w http.ResponseWriter, r *http.Request) {
 	}
 	if a := h.srv.cfg.Auditor; a != nil {
 		p.Audit = a.Stats()
+	}
+	if ds := h.srv.cfg.State; ds != nil {
+		st := ds.Status()
+		p.Durability = &st
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(p)

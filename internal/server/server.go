@@ -119,6 +119,10 @@ type Config struct {
 	// nil selects a runtime.ReadMemStats-based reader. Injectable for
 	// tests.
 	MemoryUsage func() uint64
+	// State, when non-nil, is the durable runtime state (quarantine
+	// journal + incident spool). The server flushes it during drain —
+	// bounded by the drain deadline — and reports it under /statz.
+	State *DurableState
 }
 
 func (c Config) withDefaults() Config {
@@ -553,6 +557,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.queue)
 		s.workers.Wait()
 		s.cancel()
+		// Drain-time state flush, after the last worker that could
+		// journal a transition has exited and still bounded by the
+		// caller's drain deadline (a blown deadline skips the snapshot
+		// compaction; per-append journal durability already holds).
+		if s.cfg.State != nil {
+			if err := s.cfg.State.Drain(ctx); err != nil && s.shutdownErr == nil {
+				s.shutdownErr = err
+			}
+		}
 		s.state.Store(int32(stateClosed))
 		close(s.closed)
 	})

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"xqindep/internal/faultinject"
+	"xqindep/internal/quarantine"
+	"xqindep/internal/statefile"
+)
+
+// The restart-refusal proof: a fingerprint quarantined before a
+// "crash" (process restart onto the same state directory) is still
+// refused — downgraded to the conservative verdict — by the restarted
+// server, before any new audit evidence exists.
+func TestRestartRefusesPreCrashQuarantinedFingerprint(t *testing.T) {
+	mem := statefile.NewMemFS()
+	task := mustTask(t, bibSchema, "//title", "delete //price")
+	fp := task.Analyzer.D.Fingerprint()
+
+	// Life 1: quarantine the fingerprint (as the auditor would on a
+	// disagreement), serve one downgraded verdict, drain.
+	reg := quarantine.NewRegistry(quarantine.Config{Backoff: time.Hour})
+	ds, err := OpenState(mem, StateConfig{Dir: "state"}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 1, Quarantine: reg, State: ds})
+	reg.Quarantine(fp)
+	res, err := srv.Do(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Independent || !quarantine.IsQuarantined(res.Err) {
+		t.Fatalf("life 1 verdict not downgraded: %+v", res)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash: everything unsynced is gone. Journal appends and the
+	// drain snapshot are individually fsynced, so this must lose
+	// nothing that was acknowledged.
+	mem.Crash(nil)
+
+	// Life 2: fresh registry, fresh server, same state directory.
+	reg2 := quarantine.NewRegistry(quarantine.Config{Backoff: time.Hour})
+	ds2, err := OpenState(mem, StateConfig{Dir: "state"}, reg2)
+	if err != nil {
+		t.Fatalf("reopen state: %v", err)
+	}
+	if st := ds2.Status(); st.RestoredFingerprints != 1 {
+		t.Fatalf("restored fingerprints: %+v", st)
+	}
+	srv2 := New(Config{Workers: 1, Quarantine: reg2, State: ds2})
+	res, err = srv2.Do(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Independent || !quarantine.IsQuarantined(res.Err) {
+		t.Fatalf("restart served the quarantined schema un-downgraded: %+v", res)
+	}
+
+	// /statz reports the durability section.
+	h := NewHandler(srv2)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/statz", nil))
+	var payload StatzPayload
+	if err := json.Unmarshal(rr.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Durability == nil || payload.Durability.RestoredFingerprints != 1 || payload.Durability.Dir != "state" {
+		t.Fatalf("statz durability: %+v", payload.Durability)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds2.Close()
+}
+
+// Registry-level crash chaos: quarantine transitions journaled through
+// OpenState on a faulty filesystem, killed at seeded points. Invariant:
+// every transition whose journal append was ACKNOWLEDGED (observable
+// as a clean append in the store stats) survives the crash — the
+// restored registry still refuses those fingerprints.
+func TestStateCrashChaosQuarantineJournal(t *testing.T) {
+	runs := 100
+	if testing.Short() {
+		runs = 20
+	}
+	for run := 0; run < runs && !t.Failed(); run++ {
+		run := run
+		t.Run(fmt.Sprintf("run%03d", run), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(20260807 + run)))
+			mem := statefile.NewMemFS()
+			var faults []faultinject.FSFault
+			for i := 0; i < 1+rng.Intn(2); i++ {
+				faults = append(faults, faultinject.FSFault{
+					Op:   1 + rng.Intn(60),
+					Kind: faultinject.FSFaultKind(rng.Intn(4)),
+					Keep: rng.Intn(16),
+				})
+			}
+			cfs := faultinject.NewCrashFS(mem, faults...)
+
+			reg := quarantine.NewRegistry(quarantine.Config{Backoff: time.Hour})
+			ds, err := OpenState(cfs, StateConfig{Dir: "state"}, reg)
+			if err != nil {
+				// Fault during mount: nothing acked, nothing to check.
+				return
+			}
+			acked := map[string]bool{}
+			for i := 0; i < 12 && !cfs.Crashed(); i++ {
+				fp := fmt.Sprintf("fp-%02d", i%5)
+				before := ds.Status()
+				if rng.Intn(6) == 0 {
+					_ = ds.Snapshot()
+					continue
+				}
+				reg.Quarantine(fp)
+				after := ds.Status()
+				// The transition is acknowledged iff its journal append
+				// reached stable storage.
+				if after.Journal.Appends == before.Journal.Appends+1 &&
+					after.JournalErrors == before.JournalErrors {
+					acked[fp] = true
+				}
+			}
+			if !cfs.Crashed() {
+				keep := rng.Intn(8)
+				mem.Crash(func(string, int) int { return keep })
+			}
+
+			reg2 := quarantine.NewRegistry(quarantine.Config{Backoff: time.Hour})
+			ds2, err := OpenState(mem, StateConfig{Dir: "state"}, reg2)
+			if err != nil {
+				t.Fatalf("recovery mount failed: %v (fired %v)\n%s", err, cfs.Fired(), mem.Dump())
+			}
+			for fp := range acked {
+				if !reg2.Downgrade(fp) {
+					t.Fatalf("acked quarantine of %s lost across crash (fired %v, status %+v)\n%s",
+						fp, cfs.Fired(), ds2.Status(), mem.Dump())
+				}
+			}
+			ds2.Close()
+		})
+	}
+}

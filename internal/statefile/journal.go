@@ -1,0 +1,536 @@
+package statefile
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Journal record framing, independent of record content:
+//
+//	| 4-byte big-endian payload length | 8-byte big-endian fnv64a(payload) | payload |
+//
+// A record is valid iff its full frame is present and the checksum
+// matches. Replay stops at the first invalid record and truncates the
+// journal there: under the append-then-fsync discipline a bad record
+// can only be the torn tail of the write in flight at the crash, so
+// everything before it is intact and everything after it is garbage.
+const (
+	frameHeader = 4 + 8
+	// defaultMaxRecord caps one record's payload; a length prefix
+	// beyond it is treated as corruption, not an allocation request.
+	defaultMaxRecord = 16 << 20
+)
+
+func checksum(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}
+
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint64(hdr[4:12], checksum(payload))
+	return append(append(dst, hdr[:]...), payload...)
+}
+
+// errBadRecord marks a torn or corrupt frame during replay.
+var errBadRecord = errors.New("statefile: torn or corrupt record")
+
+// nextFrame decodes the record starting at buf[off:]. It returns the
+// payload and the offset past the record, or errBadRecord.
+func nextFrame(buf []byte, off int, maxRecord int) (payload []byte, next int, err error) {
+	if off+frameHeader > len(buf) {
+		return nil, 0, errBadRecord
+	}
+	n := int(binary.BigEndian.Uint32(buf[off : off+4]))
+	if n > maxRecord || off+frameHeader+n > len(buf) {
+		return nil, 0, errBadRecord
+	}
+	sum := binary.BigEndian.Uint64(buf[off+4 : off+12])
+	payload = buf[off+frameHeader : off+frameHeader+n]
+	if checksum(payload) != sum {
+		return nil, 0, errBadRecord
+	}
+	return payload, off + frameHeader + n, nil
+}
+
+// snapEnvelope is the snapshot file's single framed record.
+type snapEnvelope struct {
+	// Gen is the journal generation the snapshot covers: replay reads
+	// the snapshot state and then journal.<Gen>.
+	Gen uint64 `json:"gen"`
+	// Unix is the snapshot time (from the injected clock), for the
+	// /statz durability section and recovery logs.
+	Unix int64 `json:"unix"`
+	// State is the caller's opaque snapshot payload.
+	State []byte `json:"state"`
+}
+
+// Options tunes a Store. Zero fields select defaults.
+type Options struct {
+	// MaxRecord caps one record payload (default 16 MiB); larger
+	// appends fail, larger length prefixes on replay count as
+	// corruption.
+	MaxRecord int
+	// Now stamps snapshots; it never influences replay decisions.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRecord <= 0 {
+		o.MaxRecord = defaultMaxRecord
+	}
+	if o.Now == nil {
+		o.Now = time.Now //xqvet:ignore clockinject injectable-clock default; harnesses pass Options.Now
+	}
+	return o
+}
+
+// Recovery reports what Open reconstructed, for boot logs and the
+// daemon's /statz durability section.
+type Recovery struct {
+	// Snapshot is the last durable snapshot state (nil when none).
+	Snapshot []byte
+	// SnapshotTime is the snapshot's stamp (zero when none).
+	SnapshotTime time.Time
+	// SnapshotCorrupt reports a snapshot file that failed its
+	// checksum; recovery then proceeds from the journal alone.
+	SnapshotCorrupt bool
+	// Records are the journal records replayed after the snapshot, in
+	// append order. Every returned record passed its checksum.
+	Records [][]byte
+	// Recovered is len(Records).
+	Recovered int
+	// Discarded counts journal tails truncated as torn/corrupt (0 or
+	// 1 per Open: replay stops at the first bad record).
+	Discarded int
+	// DiscardedBytes is the byte length of the truncated tail.
+	DiscardedBytes int64
+	// Gen is the journal generation now in use.
+	Gen uint64
+}
+
+// StoreStats is a point-in-time snapshot of a Store's counters.
+type StoreStats struct {
+	Gen                  uint64 `json:"gen"`
+	Appends              int64  `json:"appends"`
+	AppendErrors         int64  `json:"append_errors"`
+	Snapshots            int64  `json:"snapshots"`
+	SnapshotErrors       int64  `json:"snapshot_errors"`
+	JournalBytes         int64  `json:"journal_bytes"`
+	RecoveredRecords     int    `json:"recovered_records"`
+	DiscardedRecords     int    `json:"discarded_records"`
+	DiscardedBytes       int64  `json:"discarded_bytes"`
+	SnapshotLoaded       bool   `json:"snapshot_loaded"`
+	SnapshotCorrupt      bool   `json:"snapshot_corrupt,omitempty"`
+	LastSnapshotUnixNano int64  `json:"last_snapshot_unix_nano,omitempty"`
+	// Poisoned reports a store that refused further writes after an
+	// unrecoverable I/O failure; restart (re-Open) to clear.
+	Poisoned bool `json:"poisoned,omitempty"`
+}
+
+// Store is the durable journal+snapshot pair rooted at one directory:
+//
+//	<dir>/snapshot       last durable snapshot (one framed record)
+//	<dir>/snapshot.tmp   in-flight snapshot (removed on Open)
+//	<dir>/journal.<gen>  the append-only journal covering the snapshot
+//
+// Append makes one record durable (write + fsync). Snapshot writes
+// the full state atomically (temp, fsync, rename, fsync dir) and
+// rotates to a fresh journal generation, so the journal stays short.
+// Open replays snapshot + journal with torn-write tolerance. All
+// methods are safe for concurrent use.
+type Store struct {
+	fsys FS
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	gen      uint64
+	journal  File
+	jBytes   int64
+	closed   bool
+	poisoned error
+	recovery Recovery
+
+	appends, appendErrs, snaps, snapErrs int64
+	lastSnapUnix                         int64
+}
+
+const (
+	snapName    = "snapshot"
+	snapTmpName = "snapshot.tmp"
+	journalPfx  = "journal."
+)
+
+// Open mounts (creating if necessary) the store at dir and replays
+// its durable state. Recovery is idempotent: its only mutations —
+// removing a leftover snapshot.tmp, truncating a torn journal tail,
+// deleting stale journal generations, creating the current journal —
+// are all safe to repeat, so a crash during recovery loses nothing.
+func Open(fsys FS, dir string, opts Options) (*Store, Recovery, error) {
+	opts = opts.withDefaults()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, Recovery{}, fmt.Errorf("statefile: mkdir %s: %w", dir, err)
+	}
+	// A leftover snapshot.tmp is an in-flight snapshot that never
+	// became durable; discard it before it can shadow anything.
+	if err := fsys.Remove(path.Join(dir, snapTmpName)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, Recovery{}, fmt.Errorf("statefile: clear %s: %w", snapTmpName, err)
+	}
+
+	var rec Recovery
+	env, loaded, corrupt, err := readSnapshot(fsys, path.Join(dir, snapName), opts.MaxRecord)
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+	rec.SnapshotCorrupt = corrupt
+	if loaded {
+		rec.Snapshot = env.State
+		rec.SnapshotTime = time.Unix(0, env.Unix)
+		rec.Gen = env.Gen
+	}
+	if corrupt {
+		// The snapshot is atomic under the crash model, so a corrupt
+		// one means storage damage, not a torn write. Fall back to the
+		// newest journal generation on disk: its records are still
+		// individually checksummed.
+		if g, ok := newestJournalGen(fsys, dir); ok {
+			rec.Gen = g
+		}
+	}
+
+	jpath := path.Join(dir, journalName(rec.Gen))
+	records, kept, discardedBytes, err := replayJournal(fsys, jpath, opts.MaxRecord)
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+	rec.Records = records
+	rec.Recovered = len(records)
+	if discardedBytes > 0 {
+		rec.Discarded = 1
+		rec.DiscardedBytes = discardedBytes
+	}
+
+	// Drop journals of other generations: older ones are covered by
+	// the snapshot, newer ones can only be debris from a crash mid-
+	// rotation (the snapshot rename precedes the new generation, so a
+	// durable snapshot for them would have been found above).
+	removeStaleJournals(fsys, dir, rec.Gen)
+
+	j, err := fsys.OpenFile(jpath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("statefile: open journal: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		j.Close()
+		return nil, Recovery{}, fmt.Errorf("statefile: sync dir: %w", err)
+	}
+
+	s := &Store{
+		fsys: fsys, dir: dir, opts: opts,
+		gen: rec.Gen, journal: j, jBytes: kept, recovery: rec,
+	}
+	if loaded && !corrupt {
+		s.lastSnapUnix = env.Unix
+	}
+	return s, rec, nil
+}
+
+func journalName(gen uint64) string { return journalPfx + strconv.FormatUint(gen, 10) }
+
+// readSnapshot loads and validates the snapshot file. loaded reports
+// a valid snapshot; corrupt reports a present-but-invalid one.
+func readSnapshot(fsys FS, name string, maxRecord int) (env snapEnvelope, loaded, corrupt bool, err error) {
+	f, err := fsys.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return env, false, false, nil
+		}
+		return env, false, false, fmt.Errorf("statefile: open snapshot: %w", err)
+	}
+	buf, rerr := io.ReadAll(f)
+	cerr := f.Close()
+	if rerr != nil || cerr != nil {
+		return env, false, false, fmt.Errorf("statefile: read snapshot: %w", errors.Join(rerr, cerr))
+	}
+	payload, next, ferr := nextFrame(buf, 0, maxRecord)
+	if ferr != nil || next != len(buf) {
+		return env, false, true, nil
+	}
+	if jerr := json.Unmarshal(payload, &env); jerr != nil {
+		return env, false, true, nil
+	}
+	return env, true, false, nil
+}
+
+// replayJournal reads every valid record of the journal and truncates
+// the file at the first torn/corrupt one. A missing journal is an
+// empty journal (crash after snapshot rename, before the new
+// generation was created).
+func replayJournal(fsys FS, name string, maxRecord int) (records [][]byte, kept, discarded int64, err error) {
+	f, err := fsys.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, 0, nil
+		}
+		return nil, 0, 0, fmt.Errorf("statefile: open journal: %w", err)
+	}
+	buf, rerr := io.ReadAll(f)
+	cerr := f.Close()
+	if rerr != nil || cerr != nil {
+		return nil, 0, 0, fmt.Errorf("statefile: read journal: %w", errors.Join(rerr, cerr))
+	}
+	off := 0
+	for off < len(buf) {
+		payload, next, ferr := nextFrame(buf, off, maxRecord)
+		if ferr != nil {
+			break
+		}
+		records = append(records, append([]byte(nil), payload...))
+		off = next
+	}
+	if off < len(buf) {
+		discarded = int64(len(buf) - off)
+		w, werr := fsys.OpenFile(name, os.O_WRONLY, 0)
+		if werr != nil {
+			return nil, 0, 0, fmt.Errorf("statefile: reopen journal for truncate: %w", werr)
+		}
+		terr := w.Truncate(int64(off))
+		serr := w.Sync()
+		cerr := w.Close()
+		if terr != nil || serr != nil {
+			return nil, 0, 0, fmt.Errorf("statefile: truncate torn journal tail: %w", errors.Join(terr, serr, cerr))
+		}
+	}
+	return records, int64(off), discarded, nil
+}
+
+// newestJournalGen scans dir for the highest journal generation.
+func newestJournalGen(fsys FS, dir string) (uint64, bool) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0, false
+	}
+	var best uint64
+	found := false
+	for _, n := range names {
+		rest, ok := strings.CutPrefix(n, journalPfx)
+		if !ok {
+			continue
+		}
+		g, perr := strconv.ParseUint(rest, 10, 64)
+		if perr != nil {
+			continue
+		}
+		if !found || g > best {
+			best, found = g, true
+		}
+	}
+	return best, found
+}
+
+// removeStaleJournals best-effort deletes journal files of other
+// generations; failures are harmless (they are re-tried on the next
+// Open and their records are never replayed).
+func removeStaleJournals(fsys FS, dir string, gen uint64) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rest, ok := strings.CutPrefix(n, journalPfx)
+		if !ok {
+			continue
+		}
+		if g, perr := strconv.ParseUint(rest, 10, 64); perr == nil && g != gen {
+			_ = fsys.Remove(path.Join(dir, n))
+		}
+	}
+}
+
+// Append makes one record durable: frame, write, fsync. It returns
+// only after the record is on stable storage (or with the error that
+// prevented that — the record must then be considered lost).
+func (s *Store) Append(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("statefile: store closed")
+	}
+	if s.poisoned != nil {
+		s.appendErrs++
+		return fmt.Errorf("statefile: store poisoned: %w", s.poisoned)
+	}
+	if len(payload) > s.opts.MaxRecord {
+		s.appendErrs++
+		return fmt.Errorf("statefile: record of %d bytes exceeds MaxRecord %d", len(payload), s.opts.MaxRecord)
+	}
+	frame := appendFrame(nil, payload)
+	if _, err := s.journal.Write(frame); err != nil {
+		s.appendErrs++
+		s.repairTailLocked(err)
+		return fmt.Errorf("statefile: append: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		s.appendErrs++
+		s.repairTailLocked(err)
+		return fmt.Errorf("statefile: append fsync: %w", err)
+	}
+	s.jBytes += int64(len(frame))
+	s.appends++
+	return nil
+}
+
+// repairTailLocked restores the journal to its last acknowledged
+// length after a failed append, so a partial frame cannot sit in the
+// middle of the file and silently cut off later records at replay
+// (replay stops at the first bad frame). If the repair itself fails
+// the store is poisoned — further appends and snapshots are refused —
+// which keeps every already-acknowledged record recoverable.
+func (s *Store) repairTailLocked(cause error) {
+	if terr := s.journal.Truncate(s.jBytes); terr != nil {
+		s.poisoned = errors.Join(cause, terr)
+		return
+	}
+	if serr := s.journal.Sync(); serr != nil {
+		s.poisoned = errors.Join(cause, serr)
+	}
+}
+
+// Snapshot atomically replaces the durable state with state and
+// rotates to a fresh journal generation:
+//
+//  1. write snapshot.tmp (gen+1, state), fsync, close;
+//  2. rename snapshot.tmp → snapshot, fsync dir  — the commit point;
+//  3. create journal.<gen+1>, fsync dir;
+//  4. best-effort remove journal.<gen>.
+//
+// A crash before (2) leaves the old snapshot+journal fully intact; a
+// crash after (2) recovers the new snapshot with an empty journal
+// (Open creates the missing generation); the stale journal left by a
+// crash inside (3)-(4) is deleted on Open and never replayed.
+func (s *Store) Snapshot(state []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("statefile: store closed")
+	}
+	if s.poisoned != nil {
+		s.snapErrs++
+		return fmt.Errorf("statefile: store poisoned: %w", s.poisoned)
+	}
+	if err := s.snapshotLocked(state); err != nil {
+		s.snapErrs++
+		return err
+	}
+	s.snaps++
+	return nil
+}
+
+func (s *Store) snapshotLocked(state []byte) error {
+	gen := s.gen + 1
+	now := s.opts.Now().UnixNano()
+	payload, err := json.Marshal(snapEnvelope{Gen: gen, Unix: now, State: state})
+	if err != nil {
+		return fmt.Errorf("statefile: marshal snapshot: %w", err)
+	}
+	tmp := path.Join(s.dir, snapTmpName)
+	f, err := s.fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("statefile: create snapshot.tmp: %w", err)
+	}
+	_, werr := f.Write(appendFrame(nil, payload))
+	serr := f.Sync()
+	cerr := f.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		return fmt.Errorf("statefile: write snapshot.tmp: %w", errors.Join(werr, serr, cerr))
+	}
+	if err := s.fsys.Rename(tmp, path.Join(s.dir, snapName)); err != nil {
+		return fmt.Errorf("statefile: commit snapshot: %w", err)
+	}
+	// From the rename on, disk may hold the NEW snapshot while the
+	// in-memory handle still points at the OLD journal generation. Any
+	// failure in that window poisons the store: appending to the old
+	// generation would write records a reboot never replays. Poisoning
+	// is safe in both directions — if the rename proved durable the new
+	// snapshot covers every acknowledged record; if it did not, the old
+	// snapshot+journal do.
+	if err := s.fsys.SyncDir(s.dir); err != nil {
+		s.poisoned = err
+		return fmt.Errorf("statefile: sync dir after snapshot commit: %w", err)
+	}
+
+	// The snapshot is durable; everything from here on only has to
+	// converge eventually (Open repairs any prefix of it).
+	j, err := s.fsys.OpenFile(path.Join(s.dir, journalName(gen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.poisoned = err
+		return fmt.Errorf("statefile: open journal.%d: %w", gen, err)
+	}
+	if err := s.fsys.SyncDir(s.dir); err != nil {
+		j.Close()
+		s.poisoned = err
+		return fmt.Errorf("statefile: sync dir after rotate: %w", err)
+	}
+	old, oldGen := s.journal, s.gen
+	s.journal, s.gen, s.jBytes = j, gen, 0
+	s.lastSnapUnix = now
+	_ = old.Close()
+	_ = s.fsys.Remove(path.Join(s.dir, journalName(oldGen)))
+	return nil
+}
+
+// Close closes the journal handle. It does not snapshot; callers that
+// want a final compaction call Snapshot first.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.journal.Close()
+}
+
+// Recovery returns what Open reconstructed.
+func (s *Store) Recovery() Recovery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Gen:                  s.gen,
+		Appends:              s.appends,
+		AppendErrors:         s.appendErrs,
+		Snapshots:            s.snaps,
+		SnapshotErrors:       s.snapErrs,
+		JournalBytes:         s.jBytes,
+		RecoveredRecords:     s.recovery.Recovered,
+		DiscardedRecords:     s.recovery.Discarded,
+		DiscardedBytes:       s.recovery.DiscardedBytes,
+		SnapshotLoaded:       s.recovery.Snapshot != nil,
+		SnapshotCorrupt:      s.recovery.SnapshotCorrupt,
+		LastSnapshotUnixNano: s.lastSnapUnix,
+		Poisoned:             s.poisoned != nil,
+	}
+}

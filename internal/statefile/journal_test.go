@@ -1,0 +1,281 @@
+package statefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testNow() time.Time { return time.Unix(1700000000, 0) }
+
+func mustOpen(t *testing.T, fsys FS, dir string) (*Store, Recovery) {
+	t.Helper()
+	s, rec, err := Open(fsys, dir, Options{Now: testNow})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, rec
+}
+
+func TestEmptyStoreRoundTrip(t *testing.T) {
+	mem := NewMemFS()
+	s, rec := mustOpen(t, mem, "state")
+	if rec.Snapshot != nil || rec.Recovered != 0 || rec.Discarded != 0 {
+		t.Fatalf("fresh store recovered something: %+v", rec)
+	}
+	if err := s.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec = mustOpen(t, mem, "state")
+	if rec.Recovered != 2 || string(rec.Records[0]) != "one" || string(rec.Records[1]) != "two" {
+		t.Fatalf("replay: %+v", rec)
+	}
+}
+
+func TestSnapshotRotatesJournal(t *testing.T) {
+	mem := NewMemFS()
+	s, _ := mustOpen(t, mem, "state")
+	if err := s.Append([]byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot([]byte("SNAP")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Gen != 1 || st.Snapshots != 1 {
+		t.Fatalf("stats after rotate: %+v", st)
+	}
+	s.Close()
+
+	s2, rec := mustOpen(t, mem, "state")
+	defer s2.Close()
+	if string(rec.Snapshot) != "SNAP" {
+		t.Fatalf("snapshot state: %q", rec.Snapshot)
+	}
+	if rec.Gen != 1 || rec.Recovered != 1 || string(rec.Records[0]) != "post" {
+		t.Fatalf("replay after snapshot: %+v", rec)
+	}
+	if !rec.SnapshotTime.Equal(time.Unix(0, testNow().UnixNano())) {
+		t.Fatalf("snapshot time: %v", rec.SnapshotTime)
+	}
+}
+
+func TestReplayTruncatesTornTail(t *testing.T) {
+	mem := NewMemFS()
+	s, _ := mustOpen(t, mem, "state")
+	for i := 0; i < 3; i++ {
+		if err := s.Append([]byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Tear the last record: chop one byte off the journal.
+	name := "state/journal.0"
+	buf, ok := mem.Contents(name)
+	if !ok {
+		t.Fatalf("no journal:\n%s", mem.Dump())
+	}
+	f, err := mem.OpenFile(name, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(int64(len(buf) - 1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync()
+	f.Close()
+
+	s2, rec := mustOpen(t, mem, "state")
+	defer s2.Close()
+	if rec.Recovered != 2 || rec.Discarded != 1 || rec.DiscardedBytes == 0 {
+		t.Fatalf("torn replay: %+v", rec)
+	}
+	// The truncation is durable: a third open sees a clean journal.
+	s2.Close()
+	s3, rec := mustOpen(t, mem, "state")
+	defer s3.Close()
+	if rec.Recovered != 2 || rec.Discarded != 0 {
+		t.Fatalf("recovery not idempotent: %+v", rec)
+	}
+}
+
+func TestReplayStopsAtCorruptRecord(t *testing.T) {
+	mem := NewMemFS()
+	s, _ := mustOpen(t, mem, "state")
+	for _, p := range []string{"aa", "bb", "cc"} {
+		if err := s.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Flip one payload byte of the middle record.
+	name := "state/journal.0"
+	buf, _ := mem.Contents(name)
+	frame := frameHeader + 2
+	buf[frame+frameHeader] ^= 0xff
+	f, _ := mem.OpenFile(name, os.O_WRONLY|os.O_TRUNC, 0)
+	f.Write(buf)
+	f.Sync()
+	f.Close()
+
+	s2, rec := mustOpen(t, mem, "state")
+	defer s2.Close()
+	if rec.Recovered != 1 || string(rec.Records[0]) != "aa" || rec.Discarded != 1 {
+		t.Fatalf("corrupt replay: %+v", rec)
+	}
+}
+
+func TestAbsurdLengthPrefixIsCorruption(t *testing.T) {
+	mem := NewMemFS()
+	s, _ := mustOpen(t, mem, "state")
+	s.Append([]byte("ok"))
+	s.Close()
+
+	name := "state/journal.0"
+	buf, _ := mem.Contents(name)
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], 1<<31-1) // absurd length
+	buf = append(buf, hdr[:]...)
+	f, _ := mem.OpenFile(name, os.O_WRONLY|os.O_TRUNC, 0)
+	f.Write(buf)
+	f.Sync()
+	f.Close()
+
+	s2, rec := mustOpen(t, mem, "state")
+	defer s2.Close()
+	if rec.Recovered != 1 || rec.Discarded != 1 {
+		t.Fatalf("absurd length not treated as corruption: %+v", rec)
+	}
+}
+
+func TestCorruptSnapshotFallsBackToJournal(t *testing.T) {
+	mem := NewMemFS()
+	s, _ := mustOpen(t, mem, "state")
+	s.Snapshot([]byte("SNAP"))
+	s.Append([]byte("rec"))
+	s.Close()
+
+	buf, _ := mem.Contents("state/snapshot")
+	buf[len(buf)-1] ^= 0xff
+	f, _ := mem.OpenFile("state/snapshot", os.O_WRONLY|os.O_TRUNC, 0)
+	f.Write(buf)
+	f.Sync()
+	f.Close()
+
+	s2, rec := mustOpen(t, mem, "state")
+	defer s2.Close()
+	if !rec.SnapshotCorrupt || rec.Snapshot != nil {
+		t.Fatalf("snapshot corruption not detected: %+v", rec)
+	}
+	if rec.Gen != 1 || rec.Recovered != 1 || string(rec.Records[0]) != "rec" {
+		t.Fatalf("journal fallback: %+v", rec)
+	}
+}
+
+func TestLeftoverSnapshotTmpDiscarded(t *testing.T) {
+	mem := NewMemFS()
+	s, _ := mustOpen(t, mem, "state")
+	s.Append([]byte("rec"))
+	s.Close()
+
+	f, _ := mem.OpenFile("state/snapshot.tmp", os.O_CREATE|os.O_WRONLY, 0o644)
+	f.Write([]byte("half a snapshot"))
+	f.Sync()
+	f.Close()
+
+	s2, rec := mustOpen(t, mem, "state")
+	defer s2.Close()
+	if rec.Snapshot != nil || rec.Recovered != 1 {
+		t.Fatalf("tmp snapshot leaked into recovery: %+v", rec)
+	}
+	if _, ok := mem.Contents("state/snapshot.tmp"); ok {
+		t.Fatal("snapshot.tmp survived Open")
+	}
+}
+
+func TestStaleJournalGenerationsRemoved(t *testing.T) {
+	mem := NewMemFS()
+	s, _ := mustOpen(t, mem, "state")
+	s.Append([]byte("old"))
+	s.Snapshot([]byte("SNAP"))
+	s.Close()
+
+	// Plant a stale older generation as crash debris.
+	f, _ := mem.OpenFile("state/journal.0", os.O_CREATE|os.O_WRONLY, 0o644)
+	f.Write(appendFrame(nil, []byte("stale")))
+	f.Sync()
+	f.Close()
+
+	s2, rec := mustOpen(t, mem, "state")
+	defer s2.Close()
+	if rec.Gen != 1 || rec.Recovered != 0 {
+		t.Fatalf("stale journal replayed: %+v", rec)
+	}
+	if _, ok := mem.Contents("state/journal.0"); ok {
+		t.Fatal("stale journal.0 not removed")
+	}
+}
+
+func TestMaxRecordEnforced(t *testing.T) {
+	mem := NewMemFS()
+	s, _, err := Open(mem, "state", Options{Now: testNow, MaxRecord: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append(bytes.Repeat([]byte("x"), 9)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	if st := s.Stats(); st.AppendErrors != 1 {
+		t.Fatalf("append error not counted: %+v", st)
+	}
+}
+
+// TestOSFSRoundTrip exercises the production FS against a real
+// directory: append, snapshot, rotate, reopen.
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	s, _, err := Open(OS(), dir, Options{Now: testNow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Snapshot([]byte("STATE")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec, err := Open(OS(), dir, Options{Now: testNow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if string(rec.Snapshot) != "STATE" || rec.Recovered != 1 || string(rec.Records[0]) != "tail" {
+		t.Fatalf("osfs recovery: %+v", rec)
+	}
+}

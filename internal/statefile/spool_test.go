@@ -1,0 +1,139 @@
+package statefile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpoolWriteAndReopen(t *testing.T) {
+	mem := NewMemFS()
+	sp, err := OpenSpool(mem, "state", "incidents.jsonl", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Write([]byte("{\"a\":1}\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen appends; the earlier record survives.
+	sp2, err := OpenSpool(mem, "state", "incidents.jsonl", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp2.Write([]byte("{\"b\":2}\n")); err != nil {
+		t.Fatal(err)
+	}
+	sp2.Close()
+	buf, _ := mem.Contents("state/incidents.jsonl")
+	if string(buf) != "{\"a\":1}\n{\"b\":2}\n" {
+		t.Fatalf("spool contents: %q", buf)
+	}
+}
+
+func TestSpoolRotation(t *testing.T) {
+	mem := NewMemFS()
+	// maxBytes is clamped to 4 KiB; write 1 KiB records so each file
+	// holds 4 and the chain keeps 2 rotated files.
+	sp, err := OpenSpool(mem, "state", "sp", 4<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := func(i int) []byte {
+		return append(bytes.Repeat([]byte{byte('a' + i)}, 1023), '\n')
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := sp.Write(rec(i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	st := sp.Stats()
+	if st.Writes != 12 || st.Rotations != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	names, _ := mem.ReadDir("state")
+	got := strings.Join(names, ",")
+	if got != "sp,sp.1,sp.2" {
+		t.Fatalf("chain: %s\n%s", got, mem.Dump())
+	}
+	// Rotated files were fsynced on rotation: fully durable.
+	durable, _ := mem.Durable("state/sp.1")
+	if len(durable) != 4<<10 {
+		t.Fatalf("sp.1 durable bytes: %d", len(durable))
+	}
+	// Newest record is in the current file.
+	cur, _ := mem.Contents("state/sp")
+	if !bytes.HasPrefix(cur, []byte("iii")) {
+		t.Fatalf("current head: %q", cur[:8])
+	}
+}
+
+func TestSpoolDropsPastKeep(t *testing.T) {
+	mem := NewMemFS()
+	sp, err := OpenSpool(mem, "state", "sp", 4<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := func(i int) []byte {
+		return append(bytes.Repeat([]byte{byte('a' + i)}, 2047), '\n')
+	}
+	for i := 0; i < 9; i++ {
+		if _, err := sp.Write(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp.Close()
+	names, _ := mem.ReadDir("state")
+	if strings.Join(names, ",") != "sp,sp.1" {
+		t.Fatalf("chain with keep=1: %v", names)
+	}
+}
+
+func TestSpoolOversizedRecordStillLands(t *testing.T) {
+	mem := NewMemFS()
+	sp, err := OpenSpool(mem, "state", "sp", 4<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Write([]byte("small\n")); err != nil {
+		t.Fatal(err)
+	}
+	big := append(bytes.Repeat([]byte("x"), 8<<10), '\n')
+	if _, err := sp.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	st := sp.Stats()
+	if st.Rotations != 1 || st.CurrentBytes != int64(len(big)) {
+		t.Fatalf("oversized handling: %+v", st)
+	}
+	sp.Close()
+}
+
+func TestSpoolFlushMakesDurable(t *testing.T) {
+	mem := NewMemFS()
+	sp, err := OpenSpool(mem, "state", "sp", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Write([]byte("record\n"))
+	if d, _ := mem.Durable("state/sp"); len(d) != 0 {
+		t.Fatalf("durable before flush: %q", d)
+	}
+	if err := sp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := mem.Durable("state/sp"); string(d) != "record\n" {
+		t.Fatalf("durable after flush: %q", d)
+	}
+	if st := sp.Stats(); st.Flushes != 1 {
+		t.Fatalf("flush counter: %+v", st)
+	}
+	sp.Close()
+}

@@ -1,0 +1,62 @@
+package vetcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// checkFSDiscipline keeps the durable-state layer crash-testable:
+// statefile's guarantees are proven by replaying seeded fault schedules
+// through the injectable FS seam, so every filesystem touch in the
+// configured packages must go through that seam. Ambient os file
+// *functions* (os.OpenFile, os.Rename, os.Remove, ...) are confined to
+// the allowlisted adapter files — the one place the seam is bound to
+// the real filesystem. Constants (os.O_APPEND), types (os.File,
+// os.FileMode) and error values stay usable everywhere: only a
+// selector resolving to a *types.Func of package os fires.
+func checkFSDiscipline(p *pass) {
+	for _, pkg := range p.mod.Pkgs {
+		if !p.cfg.FSPackages[pkg.Rel] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			base := filepath.Base(p.mod.Fset.Position(f.Pos()).Filename)
+			if p.cfg.FSAllowFiles[base] {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "os" {
+					return true
+				}
+				if _, ok := pkg.Info.Uses[sel.Sel].(*types.Func); !ok {
+					return true // constants, types and error values stay legal
+				}
+				p.report("fsdiscipline", sel.Pos(),
+					"ambient os.%s in %s bypasses the injectable FS seam; route it through the FS interface (os adapters belong in %s)",
+					sel.Sel.Name, pkg.Rel, allowedFiles(p.cfg.FSAllowFiles))
+				return true
+			})
+		}
+	}
+}
+
+func allowedFiles(m map[string]bool) string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -3,7 +3,7 @@ package vetcheck
 import "testing"
 
 // The gate's acceptance criterion: the repository itself is clean.
-// Every invariant the six checks encode holds module-wide, and every
+// Every invariant the seven checks encode holds module-wide, and every
 // deliberate exception carries a reasoned //xqvet:ignore — so this
 // test failing means either a real violation crept in or an ignore
 // went stale. Both demand action, not a looser gate.

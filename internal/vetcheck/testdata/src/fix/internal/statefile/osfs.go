@@ -1,0 +1,14 @@
+package statefile
+
+import "os"
+
+// The allowlisted adapter file: the one place the FS seam is bound to
+// the real filesystem, so ambient os functions are legal here.
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (*os.File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Remove(name string) error { return os.Remove(name) }

@@ -1,0 +1,25 @@
+// Firing and non-firing fixtures for fsdiscipline: outside the os
+// adapter file, filesystem touches must go through the injectable FS
+// seam; ambient os file functions bypass crash-chaos fault injection.
+package statefile
+
+import "os"
+
+// FS is the stub seam the real package routes every touch through.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (*os.File, error)
+}
+
+func openJournal(fsys FS, name string) (*os.File, error) {
+	// os.O_* flags and the os.File / os.FileMode types are constants
+	// and types, not filesystem touches — legal anywhere.
+	return fsys.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func leakyOpen(name string) (*os.File, error) {
+	return os.OpenFile(name, os.O_RDONLY, 0) // want "ambient os.OpenFile"
+}
+
+func leakyCleanup(name string) error {
+	return os.Remove(name) // want "ambient os.Remove"
+}

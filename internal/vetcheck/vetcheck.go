@@ -4,7 +4,7 @@
 // keep the engine's independence verdicts sound and its serving layer
 // deterministic. See DESIGN.md §5 for the invariant each check guards.
 //
-// The six checks:
+// The seven checks:
 //
 //	panicdiscipline — panics in engine packages carry
 //	    *guard.InternalError (or sit in Must* constructors), every go
@@ -20,6 +20,9 @@
 //	    ambient time or global randomness.
 //	compilecache — dtd.NewCompiled is only called inside internal/dtd;
 //	    everyone else obtains compiled schemas through the cache.
+//	fsdiscipline — the durable-state packages touch the filesystem
+//	    only through the injectable FS seam; ambient os file functions
+//	    are confined to the allowlisted adapter files.
 //
 // A finding is suppressed by a pragma on the same or preceding line:
 //
@@ -73,6 +76,13 @@ type Config struct {
 	ProofFuncs map[string]bool
 	// ClockPackages: ambient time and global math/rand are banned.
 	ClockPackages map[string]bool
+	// FSPackages: ambient os file functions are banned outside
+	// FSAllowFiles — every filesystem touch goes through the injectable
+	// FS seam so crash chaos can fault it deterministically.
+	FSPackages map[string]bool
+	// FSAllowFiles are the file basenames (the os adapters) where
+	// ambient os file functions remain legal.
+	FSAllowFiles map[string]bool
 }
 
 // DefaultConfig is the gate configuration for this repository (and,
@@ -84,7 +94,7 @@ func DefaultConfig() Config {
 			"internal/core", "internal/dtd", "internal/eval",
 			"internal/faultinject", "internal/infer", "internal/pathanalysis",
 			"internal/preserve", "internal/quarantine", "internal/refcdag",
-			"internal/sentinel", "internal/server",
+			"internal/sentinel", "internal/server", "internal/statefile",
 			"internal/typeanalysis", "internal/xmark",
 			"internal/xmltree", "internal/xquery",
 		),
@@ -114,7 +124,10 @@ func DefaultConfig() Config {
 		ClockPackages: set(
 			"internal/server", "internal/faultinject",
 			"internal/quarantine", "internal/sentinel",
+			"internal/statefile",
 		),
+		FSPackages:   set("internal/statefile"),
+		FSAllowFiles: set("osfs.go"),
 	}
 }
 
@@ -129,7 +142,7 @@ func set(keys ...string) map[string]bool {
 // CheckNames lists the checks in canonical order.
 var CheckNames = []string{
 	"panicdiscipline", "budgetpoints", "verdictsites", "ctxflow",
-	"clockinject", "compilecache",
+	"clockinject", "compilecache", "fsdiscipline",
 }
 
 type checkFunc func(*pass)
@@ -141,6 +154,7 @@ var checkFuncs = map[string]checkFunc{
 	"ctxflow":         checkCtxFlow,
 	"clockinject":     checkClockInject,
 	"compilecache":    checkCompileCache,
+	"fsdiscipline":    checkFSDiscipline,
 }
 
 // pass carries shared state across checks for one module.

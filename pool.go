@@ -10,6 +10,7 @@ import (
 	"xqindep/internal/quarantine"
 	"xqindep/internal/sentinel"
 	"xqindep/internal/server"
+	"xqindep/internal/statefile"
 )
 
 // Serving-layer sentinel errors, re-exported for callers of Pool.
@@ -79,6 +80,17 @@ type PoolOptions struct {
 	// one JSON object per line (an append-only audit trail; the in-memory
 	// incident ring is bounded).
 	AuditSpool io.Writer
+	// StateDir, when non-empty, makes the pool's containment state
+	// durable under this directory: quarantine decisions are journaled
+	// on every audit-lane transition (each append individually fsynced)
+	// and audit incidents land in a size-capped, rotated
+	// incidents.jsonl spool there. A restarted pool pointed at the same
+	// directory replays the journal before admitting work, so a
+	// fingerprint quarantined before a crash is still refused after it.
+	// Open failures do not fail NewPool — the pool runs without
+	// durability and StateStatus reports the error; callers that
+	// require durability must check it.
+	StateDir string
 	// MemoryWatermark, when positive, sheds admissions while the process
 	// heap exceeds this many bytes.
 	MemoryWatermark uint64
@@ -100,6 +112,9 @@ type Pool struct {
 	h   *server.Handler
 	aud *sentinel.Auditor
 	reg *quarantine.Registry
+
+	state    *server.DurableState
+	stateErr error
 }
 
 // NewPool starts a pool with its workers running. Callers must Close
@@ -122,17 +137,37 @@ func NewPool(o PoolOptions) *Pool {
 			Seed:       o.BreakerSeed,
 		},
 	}
-	if o.AuditRate > 0 {
+	if o.AuditRate > 0 || o.StateDir != "" {
+		// The registry must exist whenever state is durable, even with
+		// auditing off: restored quarantine decisions still have to
+		// downgrade verdicts.
 		p.reg = quarantine.NewRegistry(quarantine.Config{QuarantineAfter: o.QuarantineAfter})
+		cfg.Quarantine = p.reg
+	}
+	if o.StateDir != "" {
+		ds, err := server.OpenState(statefile.OS(), server.StateConfig{Dir: o.StateDir}, p.reg)
+		if err != nil {
+			p.stateErr = err
+		} else {
+			p.state = ds
+			cfg.State = ds
+		}
+	}
+	if o.AuditRate > 0 {
+		spool := o.AuditSpool
+		if p.state != nil {
+			// Durable state owns the incident trail; an explicit
+			// AuditSpool still receives a copy.
+			spool = teeSpool{p.state.Spool(), o.AuditSpool}
+		}
 		p.aud = sentinel.New(sentinel.Config{
 			SampleRate: o.AuditRate,
 			Seed:       o.AuditSeed,
 			Budget:     Limits{MaxNodes: o.AuditBudget, MaxChains: o.AuditBudget},
 			Quarantine: p.reg,
-			Spool:      o.AuditSpool,
+			Spool:      spool,
 		})
 		cfg.Auditor = p.aud
-		cfg.Quarantine = p.reg
 	}
 	p.srv = server.New(cfg)
 	p.h = server.NewHandler(p.srv)
@@ -222,6 +257,54 @@ func (p *Pool) Incidents() []Incident {
 	return p.aud.Incidents()
 }
 
+// DurabilityStatus summarises the durable-state layer: what boot
+// recovery replayed (records recovered, torn tails discarded, snapshot
+// health, fingerprints re-armed) and the live journal/spool counters.
+// It is also the "durability" section of /statz.
+type DurabilityStatus = server.DurabilityStatus
+
+// StateStatus reports the durable-state summary. The error is non-nil
+// exactly when PoolOptions.StateDir was set but the state directory
+// could not be opened; the pool then serves WITHOUT durability, so
+// callers that require it (the daemon does) should treat the error as
+// fatal. With StateDir unset it returns the zero status and nil.
+func (p *Pool) StateStatus() (DurabilityStatus, error) {
+	if p.stateErr != nil {
+		return DurabilityStatus{}, p.stateErr
+	}
+	return p.state.Status(), nil
+}
+
+// teeSpool routes audit incidents to the durable state spool and, when
+// the caller also supplied an AuditSpool, a copy to it. Flush — probed
+// by the audit lane's drain — reaches whichever writers support it.
+type teeSpool struct {
+	primary   io.Writer
+	secondary io.Writer // may be nil
+}
+
+func (t teeSpool) Write(p []byte) (int, error) {
+	n, err := t.primary.Write(p)
+	if t.secondary != nil {
+		if _, serr := t.secondary.Write(p); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return n, err
+}
+
+func (t teeSpool) Flush() error {
+	var err error
+	for _, w := range []io.Writer{t.primary, t.secondary} {
+		if f, ok := w.(interface{ Flush() error }); ok {
+			if ferr := f.Flush(); ferr != nil && err == nil {
+				err = ferr
+			}
+		}
+	}
+	return err
+}
+
 // QuarantineState reports the schema's quarantine state: "clean",
 // "quarantined" or "half-open".
 func (p *Pool) QuarantineState(s *Schema) string {
@@ -244,24 +327,32 @@ func (p *Pool) RunBatch(ctx context.Context, r io.Reader, w io.Writer, defaultSc
 
 // Shutdown gracefully drains the pool: admission stops immediately,
 // in-flight work finishes until ctx expires, then is hard-cancelled.
-// The audit lane drains after the workers (pending audits finish; no
-// observation is lost to shutdown). The pool is fully stopped when
+// The audit lane drains after the workers under the same ctx — pending
+// audits finish, a wedged one is hard-cancelled at the deadline rather
+// than holding the exit hostage to its budget. Durable state is closed
+// last (audits may journal quarantine transitions right up to their
+// cancellation), flushing the incident spool and compacting the
+// quarantine journal into a snapshot. The pool is fully stopped when
 // Shutdown returns.
 func (p *Pool) Shutdown(ctx context.Context) error {
 	err := p.srv.Shutdown(ctx)
 	if p.aud != nil {
-		p.aud.Close()
+		if aerr := p.aud.Shutdown(ctx); err == nil {
+			err = aerr
+		}
+	}
+	if serr := p.state.Close(); err == nil {
+		err = serr
 	}
 	return err
 }
 
 // Close is Shutdown under the configured DrainTimeout.
 func (p *Pool) Close() error {
-	err := p.srv.Close()
-	if p.aud != nil {
-		p.aud.Close()
-	}
-	return err
+	//xqvet:ignore ctxflow Close is the no-caller-context teardown API; its deadline is DrainTimeout
+	ctx, cancel := context.WithTimeout(context.Background(), p.srv.Config().DrainTimeout)
+	defer cancel()
+	return p.Shutdown(ctx)
 }
 
 // Serve runs the pool's HTTP API on addr until ctx is cancelled, then
