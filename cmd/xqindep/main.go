@@ -238,7 +238,10 @@ func runAudit(schema *xqindep.Schema, queryText, updateText string) int {
 		Update:     u,
 		QueryText:  queryText,
 		UpdateText: updateText,
-		Result:     core.Result{Independent: true, Method: core.MethodChains},
+		// Deliberately unproven verdict: -audit feeds the sentinel a
+		// fabricated Independent=true to demonstrate refutation.
+		//xqvet:ignore verdictflow fabricated verdict exercises the sentinel refutation path on purpose
+		Result: core.Result{Independent: true, Method: core.MethodChains},
 	})
 	aud.Flush()
 	st := aud.Stats()

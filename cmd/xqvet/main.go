@@ -1,23 +1,31 @@
 // Command xqvet is the repository's static-analysis gate. It loads
-// every package of the module and enforces the six project invariants
-// (panicdiscipline, budgetpoints, verdictsites, ctxflow, clockinject)
-// described in DESIGN.md §5.
+// every package of the module and enforces the nine project invariants
+// (panicdiscipline, budgetpoints, verdictflow, lockdiscipline,
+// frozenartifact, ctxflow, clockinject, compilecache, fsdiscipline)
+// described in DESIGN.md §5 and §12.
 //
 // Usage:
 //
-//	xqvet [-dir module-root] [-checks list] [packages]
+//	xqvet [-dir module-root] [-checks list] [-json] [packages]
 //
 // The package arguments are accepted for familiarity ("xqvet ./...")
 // but the tool always analyzes the whole module rooted at -dir: the
 // invariants are module-global properties (call graphs, allowlists),
 // not per-package ones.
 //
+// -json prints findings as a JSON array of {file,line,col,check,msg}
+// objects (an empty array when clean), in the same stable (file, line,
+// column, check, message) order as the text output, so CI can archive
+// and diff them.
+//
 // Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -28,12 +36,22 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+// jsonFinding is the stable wire shape of one finding.
+type jsonFinding struct {
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xqvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := fs.String("dir", ".", "module root to analyze")
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all of "+
 		strings.Join(vetcheck.CheckNames, ",")+")")
+	asJSON := fs.Bool("json", false, "print findings as a JSON array")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -51,8 +69,27 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:  f.Pos.Filename,
+				Line:  f.Pos.Line,
+				Col:   f.Pos.Column,
+				Check: f.Check,
+				Msg:   f.Msg,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "xqvet: %d finding(s)\n", len(findings))

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+)
+
+const mutDir = "../../internal/vetcheck/testdata/src/mut"
+
+func TestJSONOutputSortedAndParseable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", mutDir, "-json"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (mut module is seeded with defects); stderr: %s", code, stderr.String())
+	}
+	var findings []struct {
+		File  string `json:"file"`
+		Line  int    `json:"line"`
+		Col   int    `json:"col"`
+		Check string `json:"check"`
+		Msg   string `json:"msg"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("expected findings from the seeded mut module")
+	}
+	sorted := sort.SliceIsSorted(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+	if !sorted {
+		t.Errorf("findings not in (file, line, col, check, msg) order:\n%s", stdout.String())
+	}
+}
+
+func TestUnknownCheckExitsUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dir", mutDir, "-checks", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2 for an unknown check", code)
+	}
+}

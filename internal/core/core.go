@@ -332,6 +332,7 @@ func (a *Analyzer) analyzeOnce(ctx context.Context, m Method, q xquery.Query, u 
 		// to be returned, simulating an unsound engine edge case. The
 		// sentinel audit layer is responsible for catching the
 		// Independent=true flips this produces.
+		//xqvet:ignore verdictflow chaos flip-verdict injection is unsound by design; the sentinel audit catches it
 		res.Independent = !res.Independent
 	}
 	return res, nil

@@ -11,10 +11,7 @@ package vetcheck
 // budget consumption is any call to a (*guard.Budget) method reachable
 // from the function over that same graph.
 func checkBudgetPoints(p *pass) {
-	if p.graph == nil {
-		p.graph = buildCallGraph(p)
-		p.graph.sccs()
-	}
+	p.ensureGraph()
 	g := p.graph
 	for _, n := range g.nodes {
 		if n.pkg == nil || !p.cfg.BudgetPackages[n.pkg.Rel] {

@@ -1,0 +1,80 @@
+package vetcheck
+
+import "testing"
+
+// cgFixture loads the fix module and builds its call graph once.
+func cgFixture(t *testing.T) *callGraph {
+	t.Helper()
+	mod, err := Load("testdata/src/fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newPass(mod, DefaultConfig())
+	p.ensureGraph()
+	return p.graph
+}
+
+func cgNodeByName(t *testing.T, g *callGraph, name string) *cgNode {
+	t.Helper()
+	for _, n := range g.nodes {
+		if n.pkg != nil && n.pkg.Rel == "internal/cg" && n.decl.Name.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %q in internal/cg", name)
+	return nil
+}
+
+// TestSCCCondensation covers the condensation edge cases the
+// interprocedural summaries depend on: plain self-recursion, mutual
+// recursion visible only through method values, and a cycle closed by
+// interface dispatch.
+func TestSCCCondensation(t *testing.T) {
+	g := cgFixture(t)
+	tests := []struct {
+		name      string
+		fn        string
+		recursive bool
+		sameSCCAs string // "" to skip
+	}{
+		{"self recursion", "selfRec", true, ""},
+		{"no recursion", "straight", false, ""},
+		{"method-value mutual recursion", "Even", true, "Odd"},
+		{"method-value mutual recursion (other side)", "Odd", true, "Even"},
+		{"value consumer stays out of the cycle", "apply", false, ""},
+		{"interface-dispatch cycle", "Walk", true, "dispatchWalk"},
+		{"interface-dispatch cycle (other side)", "dispatchWalk", true, "Walk"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			n := cgNodeByName(t, g, tt.fn)
+			if got := g.recursive(n); got != tt.recursive {
+				t.Errorf("recursive(%s) = %v, want %v", tt.fn, got, tt.recursive)
+			}
+			if tt.sameSCCAs != "" {
+				m := cgNodeByName(t, g, tt.sameSCCAs)
+				if n.scc != m.scc {
+					t.Errorf("%s (scc %d) and %s (scc %d) should share an SCC",
+						tt.fn, n.scc, tt.sameSCCAs, m.scc)
+				}
+			}
+		})
+	}
+}
+
+// TestCallGraphDeterministicOrder: nodes come out sorted by position,
+// so summary fixpoints and SCC ids are stable run to run.
+func TestCallGraphDeterministicOrder(t *testing.T) {
+	g := cgFixture(t)
+	g2 := cgFixture(t)
+	if len(g.nodes) != len(g2.nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(g.nodes), len(g2.nodes))
+	}
+	for i := range g.nodes {
+		a, b := g.nodes[i], g2.nodes[i]
+		if a.decl.Name.Name != b.decl.Name.Name || a.scc != b.scc {
+			t.Fatalf("node %d differs across builds: %s/scc%d vs %s/scc%d",
+				i, a.decl.Name.Name, a.scc, b.decl.Name.Name, b.scc)
+		}
+	}
+}

@@ -1,0 +1,422 @@
+package vetcheck
+
+// cfg.go builds the intraprocedural control-flow graph the dataflow
+// checks (verdictflow, lockdiscipline, frozenartifact) run on. The
+// graph is at basic-block granularity: a block is a maximal sequence
+// of straight-line nodes, and control transfers to one of its
+// successors. Function literals are NOT part of the enclosing
+// function's graph — each literal is analyzed as its own unit by the
+// checks, with conservative entry assumptions.
+//
+// Two wrapper node kinds keep nested blocks out of header blocks:
+// a selectMarker stands for a select header (the clause guards and
+// bodies live in their own blocks), and a rangeMarker stands for a
+// range header (only the ranged-over expression evaluates there).
+// Checks that pattern-match nodes must handle both.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgBlock is one basic block: nodes execute in order, then control
+// moves to one of succs. A block with no successors terminates the
+// function (return, panic, or the synthetic exit).
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+func (b *cfgBlock) addSucc(s *cfgBlock) {
+	for _, t := range b.succs {
+		if t == s {
+			return
+		}
+	}
+	b.succs = append(b.succs, s)
+}
+
+// selectMarker is the header stand-in for a select statement; it owns
+// default-clause detection while the comm guards and clause bodies
+// live in per-clause blocks.
+type selectMarker struct{ *ast.SelectStmt }
+
+// hasDefault reports whether the select can complete without blocking.
+func (m *selectMarker) hasDefault() bool {
+	for _, c := range m.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// rangeMarker is the header stand-in for a range statement: only X is
+// evaluated in the header block; the body is a separate block.
+type rangeMarker struct{ *ast.RangeStmt }
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+	// defers collects every defer statement lexically in the body
+	// (closures excluded): deferred calls run between the edge into
+	// exit and the actual return, on every path.
+	defers []*ast.DeferStmt
+	// commStmts maps a select comm-clause guard statement to its
+	// select, so checks can tell a guard from a free-standing channel
+	// operation (the guard's blocking behavior is judged once, at the
+	// selectMarker).
+	commStmts map[ast.Stmt]*ast.SelectStmt
+	// returns records each return statement for summary builders.
+	returns []*ast.ReturnStmt
+}
+
+// cfgLabel carries the targets a label can be jumped to with.
+type cfgLabel struct {
+	target *cfgBlock // goto target: the labeled statement itself
+	brk    *cfgBlock // break L target (set when the labeled stmt is built)
+	cont   *cfgBlock // continue L target (loops only)
+}
+
+type cfgBuilder struct {
+	pkg       *Package
+	g         *funcCFG
+	cur       *cfgBlock // nil after a terminating statement
+	breaks    []*cfgBlock
+	continues []*cfgBlock
+	fallT     *cfgBlock // fallthrough target inside a switch clause
+	labels    map[string]*cfgLabel
+	curLabel  *cfgLabel // label whose statement is being built next
+}
+
+// buildCFG constructs the graph for one function body. pkg supplies
+// type information (builtin panic detection).
+func buildCFG(pkg *Package, body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{commStmts: map[ast.Stmt]*ast.SelectStmt{}}
+	b := &cfgBuilder{pkg: pkg, g: g, labels: map[string]*cfgLabel{}}
+	g.entry = b.newBlock()
+	g.exit = b.newBlock()
+	b.cur = g.entry
+
+	// Pre-create a block per label so forward gotos resolve.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if l, ok := n.(*ast.LabeledStmt); ok {
+			b.labels[l.Label.Name] = &cfgLabel{target: b.newBlock()}
+		}
+		return true
+	})
+
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.cur.addSucc(g.exit)
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// block returns the current block, starting a fresh (unreachable)
+// island after a terminating statement so later nodes still have a
+// home; dataflow only visits reachable blocks.
+func (b *cfgBuilder) block() *cfgBlock {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		blk := b.block()
+		blk.nodes = append(blk.nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for a loop/switch/select so
+// its break/continue targets can be registered.
+func (b *cfgBuilder) takeLabel() *cfgLabel {
+	l := b.curLabel
+	b.curLabel = nil
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.takeLabel()
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		b.add(s.Init)
+		b.add(s.Cond)
+		head := b.block()
+		then := b.newBlock()
+		join := b.newBlock()
+		head.addSucc(then)
+		var elseB *cfgBlock
+		if s.Else != nil {
+			elseB = b.newBlock()
+			head.addSucc(elseB)
+		} else {
+			head.addSucc(join)
+		}
+		b.cur = then
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.cur.addSucc(join)
+		}
+		if s.Else != nil {
+			b.cur = elseB
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.cur.addSucc(join)
+			}
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		lbl := b.takeLabel()
+		b.add(s.Init)
+		head := b.newBlock()
+		b.block().addSucc(head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		body := b.newBlock()
+		exit := b.newBlock()
+		head.addSucc(body)
+		if s.Cond != nil {
+			head.addSucc(exit)
+		}
+		contT := head
+		var post *cfgBlock
+		if s.Post != nil {
+			post = b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			post.addSucc(head)
+			contT = post
+		}
+		if lbl != nil {
+			lbl.brk, lbl.cont = exit, contT
+			lbl.target.addSucc(head)
+		}
+		b.breaks = append(b.breaks, exit)
+		b.continues = append(b.continues, contT)
+		b.cur = body
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.cur.addSucc(contT)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		lbl := b.takeLabel()
+		head := b.newBlock()
+		b.block().addSucc(head)
+		head.nodes = append(head.nodes, &rangeMarker{s})
+		body := b.newBlock()
+		exit := b.newBlock()
+		head.addSucc(body)
+		head.addSucc(exit)
+		if lbl != nil {
+			lbl.brk, lbl.cont = exit, head
+			lbl.target.addSucc(head)
+		}
+		b.breaks = append(b.breaks, exit)
+		b.continues = append(b.continues, head)
+		b.cur = body
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.cur.addSucc(head)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		lbl := b.takeLabel()
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.switchClauses(s.Body.List, lbl, func(c *ast.CaseClause) []ast.Node {
+			nodes := make([]ast.Node, 0, len(c.List))
+			for _, e := range c.List {
+				nodes = append(nodes, e)
+			}
+			return nodes
+		})
+
+	case *ast.TypeSwitchStmt:
+		lbl := b.takeLabel()
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, lbl, func(*ast.CaseClause) []ast.Node { return nil })
+
+	case *ast.SelectStmt:
+		lbl := b.takeLabel()
+		b.add(&selectMarker{s})
+		head := b.block()
+		join := b.newBlock()
+		if lbl != nil {
+			lbl.brk = join
+			lbl.target.addSucc(head)
+		}
+		b.breaks = append(b.breaks, join)
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			cb := b.newBlock()
+			head.addSucc(cb)
+			if cc.Comm != nil {
+				b.g.commStmts[cc.Comm] = s
+				cb.nodes = append(cb.nodes, cc.Comm)
+			}
+			b.cur = cb
+			b.stmts(cc.Body)
+			if b.cur != nil {
+				b.cur.addSucc(join)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever: join stays unreachable.
+			b.block().addSucc(b.newBlock())
+		}
+		b.cur = join
+
+	case *ast.LabeledStmt:
+		lbl := b.labels[s.Label.Name]
+		b.block().addSucc(lbl.target)
+		b.cur = lbl.target
+		b.curLabel = lbl
+		b.stmt(s.Stmt)
+		b.curLabel = nil
+
+	case *ast.BranchStmt:
+		b.takeLabel()
+		blk := b.block()
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if lbl := b.labels[s.Label.Name]; lbl != nil && lbl.brk != nil {
+					blk.addSucc(lbl.brk)
+				}
+			} else if len(b.breaks) > 0 {
+				blk.addSucc(b.breaks[len(b.breaks)-1])
+			}
+		case token.CONTINUE:
+			if s.Label != nil {
+				if lbl := b.labels[s.Label.Name]; lbl != nil && lbl.cont != nil {
+					blk.addSucc(lbl.cont)
+				}
+			} else if len(b.continues) > 0 {
+				blk.addSucc(b.continues[len(b.continues)-1])
+			}
+		case token.GOTO:
+			if lbl := b.labels[s.Label.Name]; lbl != nil {
+				blk.addSucc(lbl.target)
+			}
+		case token.FALLTHROUGH:
+			if b.fallT != nil {
+				blk.addSucc(b.fallT)
+			}
+		}
+		b.cur = nil
+
+	case *ast.ReturnStmt:
+		b.takeLabel()
+		b.add(s)
+		b.g.returns = append(b.g.returns, s)
+		b.block().addSucc(b.g.exit)
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		b.takeLabel()
+		b.add(s)
+		b.g.defers = append(b.g.defers, s)
+
+	case *ast.ExprStmt:
+		b.takeLabel()
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isBuiltin(b.pkg.Info, call.Fun, "panic") {
+			b.cur = nil // terminating: panic never falls through
+		}
+
+	case *ast.EmptyStmt:
+		b.takeLabel()
+
+	default:
+		// Assign, IncDec, Decl, Go, Send, ... : straight-line.
+		b.takeLabel()
+		b.add(s)
+	}
+}
+
+// switchClauses builds the per-case blocks shared by expression and
+// type switches. caseExprs returns the header-evaluated expressions
+// of a clause (the tag comparisons; empty for type switches).
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, lbl *cfgLabel, caseExprs func(*ast.CaseClause) []ast.Node) {
+	head := b.block()
+	join := b.newBlock()
+	if lbl != nil {
+		lbl.brk = join
+		lbl.target.addSucc(head)
+	}
+	caseBlocks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		head.nodes = append(head.nodes, caseExprs(cc)...)
+		caseBlocks[i] = b.newBlock()
+		head.addSucc(caseBlocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		head.addSucc(join)
+	}
+	b.breaks = append(b.breaks, join)
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok || caseBlocks[i] == nil {
+			continue
+		}
+		savedFall := b.fallT
+		if i+1 < len(clauses) && caseBlocks[i+1] != nil {
+			b.fallT = caseBlocks[i+1]
+		} else {
+			b.fallT = nil
+		}
+		b.cur = caseBlocks[i]
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.cur.addSucc(join)
+		}
+		b.fallT = savedFall
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}

@@ -1,0 +1,135 @@
+package vetcheck
+
+// dataflow.go is the worklist engine the flow checks share: a
+// forward, join-over-paths fixpoint over a funcCFG. Each check brings
+// its own lattice (a small map-shaped state), transfer function, and
+// join; the engine owns reachability, ordering and termination.
+//
+// States are treated as immutable by the engine: transfer receives a
+// private copy, and join must allocate its result. Lattices must have
+// finite height (every check here uses maps over the function's
+// identifiers with 2-3 abstract values, so fixpoints are reached in
+// O(blocks × idents) steps).
+
+import "go/ast"
+
+// flowFuncs bundles one analysis's lattice operations over state S.
+type flowFuncs[S any] struct {
+	// copy clones a state so transfer may mutate its argument freely.
+	copy func(S) S
+	// join merges two predecessor states into a fresh state.
+	join func(S, S) S
+	// equal reports lattice equality (fixpoint detection).
+	equal func(S, S) bool
+	// transfer applies one block node's effect.
+	transfer func(S, ast.Node) S
+}
+
+// forwardFlow runs the worklist fixpoint from entry and returns the
+// state at each reachable block's entry. Unreachable blocks have no
+// entry in the result map; report passes must skip them.
+func forwardFlow[S any](g *funcCFG, entry S, f flowFuncs[S]) map[*cfgBlock]S {
+	in := map[*cfgBlock]S{g.entry: entry}
+	work := []*cfgBlock{g.entry}
+	queued := map[*cfgBlock]bool{g.entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		s := f.copy(in[b])
+		for _, n := range b.nodes {
+			s = f.transfer(s, n)
+		}
+		for _, succ := range b.succs {
+			old, seen := in[succ]
+			var merged S
+			if !seen {
+				merged = f.copy(s)
+			} else {
+				merged = f.join(old, s)
+			}
+			if !seen || !f.equal(old, merged) {
+				in[succ] = merged
+				if !queued[succ] {
+					work = append(work, succ)
+					queued[succ] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// reachable reports the blocks forwardFlow visited, in graph order
+// with deterministic iteration (entry-first breadth order).
+func reachableBlocks[S any](g *funcCFG, in map[*cfgBlock]S) []*cfgBlock {
+	var out []*cfgBlock
+	seen := map[*cfgBlock]bool{}
+	queue := []*cfgBlock{g.entry}
+	seen[g.entry] = true
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if _, ok := in[b]; !ok {
+			continue
+		}
+		out = append(out, b)
+		for _, s := range b.succs {
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return out
+}
+
+// inspectShallow walks n in evaluation-order style without descending
+// into function literals (separate analysis units). Marker nodes are
+// unwrapped to the header-evaluated parts only: a selectMarker yields
+// nothing (clause guards live in their own blocks) and a rangeMarker
+// yields only the ranged-over expression.
+func inspectShallow(n ast.Node, f func(ast.Node) bool) {
+	switch m := n.(type) {
+	case *selectMarker:
+		return
+	case *rangeMarker:
+		if m.X != nil {
+			inspectShallow(m.X, f)
+		}
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			return true
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(x)
+	})
+}
+
+// funcUnits yields the analysis units of one declaration: the
+// declaration body itself plus every function literal inside it, each
+// with its own CFG. Literals inherit the declaration for allowlist
+// scoping (a closure inside a proof function is part of the proof).
+type funcUnit struct {
+	decl *ast.FuncDecl // enclosing top-level declaration
+	lit  *ast.FuncLit  // nil for the declaration's own body
+	body *ast.BlockStmt
+}
+
+func unitsOf(decl *ast.FuncDecl) []funcUnit {
+	if decl.Body == nil {
+		return nil
+	}
+	units := []funcUnit{{decl: decl, body: decl.Body}}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			units = append(units, funcUnit{decl: decl, lit: lit, body: lit.Body})
+		}
+		return true
+	})
+	return units
+}

@@ -1,0 +1,66 @@
+package vetcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMutationLaunderingCaught is the acceptance experiment for the
+// verdictflow upgrade: a verdict laundered through a local variable
+// inside a function the old gate allowlisted by name. The old
+// configuration (reportFromResult in ProofFuncs) is provably silent;
+// the flow-sensitive check fires.
+func TestMutationLaunderingCaught(t *testing.T) {
+	mod, err := Load("testdata/src/mut")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	findings, err := RunModule(mod, []string{"verdictflow"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := false
+	for _, f := range findings {
+		if strings.HasSuffix(f.Pos.Filename, "mut.go") &&
+			strings.Contains(f.Msg, "cannot trace to proof-kernel evidence") {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Errorf("verdictflow missed the laundered verdict; findings: %v", findings)
+	}
+
+	// The old allowlist semantics, reconstructed: with the laundering
+	// function allowlisted, the same defect is invisible.
+	old := DefaultConfig()
+	old.ProofFuncs = set("reportFromResult")
+	oldFindings, err := RunModule(mod, []string{"verdictflow"}, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range oldFindings {
+		if strings.HasSuffix(f.Pos.Filename, "mut.go") {
+			t.Errorf("allowlisted run should be silent on mut.go, got %v", f)
+		}
+	}
+}
+
+// TestMutationLockInversionCaught covers the seeded inversion the CI
+// negative smoke relies on.
+func TestMutationLockInversionCaught(t *testing.T) {
+	mod, err := Load("testdata/src/mut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunModule(mod, []string{"lockdiscipline"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if strings.Contains(f.Msg, "lock-order inversion") {
+			return
+		}
+	}
+	t.Errorf("lockdiscipline missed the seeded inversion; findings: %v", findings)
+}

@@ -1,0 +1,61 @@
+package vetcheck
+
+import (
+	"go/token"
+	"sort"
+	"testing"
+)
+
+// TestSortFindingsTotalOrder: the published order is total — file,
+// then line, then column, then check, then message — so two runs over
+// the same tree print byte-identical output and CI diffs stay stable
+// regardless of package-load or map-iteration order.
+func TestSortFindingsTotalOrder(t *testing.T) {
+	mk := func(file string, line, col int, check, msg string) Finding {
+		return Finding{
+			Pos:   token.Position{Filename: file, Line: line, Column: col},
+			Check: check,
+			Msg:   msg,
+		}
+	}
+	want := []Finding{
+		mk("a.go", 1, 1, "ctxflow", "m"),
+		mk("a.go", 2, 1, "budgetpoints", "m"),
+		mk("a.go", 2, 1, "verdictflow", "a"),
+		mk("a.go", 2, 1, "verdictflow", "b"),
+		mk("a.go", 2, 5, "budgetpoints", "m"),
+		mk("b.go", 1, 1, "lockdiscipline", "m"),
+	}
+	// Feed every permutation-ish rotation through the sorter; each
+	// must come back in exactly the published order.
+	for shift := range want {
+		in := make([]Finding, 0, len(want))
+		in = append(in, want[shift:]...)
+		in = append(in, want[:shift]...)
+		SortFindings(in)
+		for i := range want {
+			if in[i] != want[i] {
+				t.Fatalf("rotation %d: position %d = %+v, want %+v", shift, i, in[i], want[i])
+			}
+		}
+	}
+	SortFindings(nil) // must not panic on an empty run
+	if !sort.SliceIsSorted(want, func(i, j int) bool {
+		a, b := want[i], want[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	}) {
+		t.Fatal("reference order in this test is itself unsorted")
+	}
+}

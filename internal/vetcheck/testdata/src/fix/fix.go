@@ -1,6 +1,10 @@
-// Module-root fixtures: the public Report verdict and its allowlisted
-// constructor, addressed by bare name in the configuration.
+// Module-root fixtures: the public Report verdict, addressed by bare
+// name in the configuration. reportFromResult is no longer
+// allowlisted — verdictflow verifies it because the value it forwards
+// is read from an already-checked verdict.
 package fix
+
+import "example.com/fix/internal/core"
 
 // Report mirrors the real public verdict struct.
 type Report struct {
@@ -8,13 +12,15 @@ type Report struct {
 	Method      string
 }
 
-// reportFromResult is the allowlisted root proof function.
-func reportFromResult(ok bool) Report {
-	return Report{Independent: ok, Method: "chains"}
+// reportFromResult forwards proven evidence: reading .Independent
+// from a verdict-typed value is sound by induction over all checked
+// write sites.
+func reportFromResult(r core.Result) Report {
+	return Report{Independent: r.Independent, Method: "chains"}
 }
 
 func fabricateReport() Report {
-	return Report{Independent: true} // want "outside the proof-function allowlist"
+	return Report{Independent: true} // want "cannot trace to proof-kernel evidence"
 }
 
 func conservativeReport() Report {

@@ -1,6 +1,7 @@
 // Firing and non-firing fixtures for budgetpoints (cdag is a budget
-// package) and verdictsites (Verdict/CheckIndependence are in the
-// default allowlists).
+// package) and verdictflow (Verdict is a configured verdict type and
+// CheckIndependence is in the proof kernel); see flow.go for the
+// flow-sensitive verdictflow fixtures.
 package cdag
 
 import "example.com/fix/internal/guard"
@@ -14,13 +15,14 @@ type Verdict struct {
 // Engine carries the budget like the real CDAG engine.
 type Engine struct{ b *guard.Budget }
 
-// CheckIndependence is an allowlisted proof function.
+// CheckIndependence is the proof kernel: the axiom the rest of the
+// module's verdict flow is checked against.
 func (e *Engine) CheckIndependence() Verdict {
 	return Verdict{Independent: true, K: 1}
 }
 
 func shortcut() Verdict {
-	return Verdict{Independent: true} // want "outside the proof-function allowlist"
+	return Verdict{Independent: true} // want "cannot trace to proof-kernel evidence"
 }
 
 func conservative() Verdict {
@@ -28,7 +30,7 @@ func conservative() Verdict {
 }
 
 func flip(v *Verdict, val bool) {
-	v.Independent = val // want "assigned a non-false value"
+	v.Independent = val // want "cannot trace to proof-kernel evidence"
 }
 
 func clear(v *Verdict) {

@@ -1,0 +1,76 @@
+// Flow-sensitive verdictflow fixtures: evidence propagation through
+// locals, branch joins, helper summaries, the boolean operators, and
+// the escape hatches the old name-based allowlist could not see.
+package cdag
+
+// Laundering through a local: invisible to a name-based check, caught
+// by the dataflow.
+func launderLocal() Verdict {
+	ok := true
+	return Verdict{Independent: ok} // want "cannot trace to proof-kernel evidence"
+}
+
+// A local holding kernel evidence is itself evidence.
+func forwardLocal(e *Engine) Verdict {
+	v := e.CheckIndependence()
+	ok := v.Independent
+	return Verdict{Independent: ok}
+}
+
+// Join over branches: evidence on only one arm does not survive.
+func halfProven(e *Engine, c bool) Verdict {
+	ok := true
+	if c {
+		ok = e.CheckIndependence().Independent
+	}
+	return Verdict{Independent: ok} // want "cannot trace to proof-kernel evidence"
+}
+
+// Evidence on every path survives the join (the zero value false is
+// evidence too).
+func bothProven(e *Engine, c bool) Verdict {
+	ok := false
+	if c {
+		ok = e.CheckIndependence().Independent
+	}
+	return Verdict{Independent: ok}
+}
+
+// Conjunction can only lower a sound verdict; one evidence operand is
+// enough. Disjunction can raise it, so both operands must be evidence.
+func narrowed(e *Engine, extra bool) Verdict {
+	return Verdict{Independent: e.CheckIndependence().Independent && extra}
+}
+
+func widened(e *Engine, extra bool) Verdict {
+	return Verdict{Independent: e.CheckIndependence().Independent || extra} // want "cannot trace to proof-kernel evidence"
+}
+
+// A helper every return of which is evidence gets a proven summary.
+func viaHelper(e *Engine) Verdict {
+	return Verdict{Independent: helperProven(e)}
+}
+
+func helperProven(e *Engine) bool {
+	if e == nil {
+		return false
+	}
+	return e.CheckIndependence().Independent
+}
+
+// A helper that fabricates its bool has an unproven summary.
+func viaBadHelper() Verdict {
+	return Verdict{Independent: helperUnproven()} // want "cannot trace to proof-kernel evidence"
+}
+
+func helperUnproven() bool { return true }
+
+// Positional verdict literals hide which value lands in Independent.
+func positional() Verdict {
+	return Verdict{true, 1} // want "positional composite literal of verdict type"
+}
+
+// Taking the field's address would let writes bypass the analysis.
+func escape(v *Verdict) *bool {
+	return &v.Independent // want "escapes the dataflow proof"
+}

@@ -1,0 +1,49 @@
+// Call-graph shape fixtures for the SCC condensation tests:
+// self-recursion, mutual recursion carried by method values, and a
+// cycle closed through interface dispatch. No check scopes this
+// package — callgraph_test.go asserts the graph shapes directly.
+package cg
+
+func selfRec(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return selfRec(n - 1)
+}
+
+func straight(n int) int { return n + 1 }
+
+// Mutual recursion through method values: neither method names the
+// other in call position — each passes the other as a value, so only
+// reference edges close the cycle.
+type Hopper struct{}
+
+func (h Hopper) Even(n int) bool {
+	return apply(h.Odd, n)
+}
+
+func (h Hopper) Odd(n int) bool {
+	return apply(h.Even, n)
+}
+
+func apply(f func(int) bool, n int) bool {
+	if n == 0 {
+		return true
+	}
+	return f(n - 1)
+}
+
+// A cycle closed through interface dispatch: dispatchWalk calls
+// Walker.Walk, whose only module implementation calls dispatchWalk.
+type Walker interface{ Walk(n int) int }
+
+type Deep struct{}
+
+func (d *Deep) Walk(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return dispatchWalk(d, n-1)
+}
+
+func dispatchWalk(w Walker, n int) int { return w.Walk(n) }

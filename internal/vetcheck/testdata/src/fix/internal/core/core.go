@@ -11,13 +11,15 @@ type Result struct {
 	Degraded    bool
 }
 
-// analyzeOnce is an allowlisted proof function.
-func analyzeOnce(ctx context.Context, verdict bool) Result {
-	return Result{Independent: verdict}
+// analyzeOnce mirrors the real ladder rung: it forwards an
+// already-proven verdict, so verdictflow verifies it without any
+// allowlist entry.
+func analyzeOnce(ctx context.Context, v Result) Result {
+	return Result{Independent: v.Independent}
 }
 
 func fabricate() Result {
-	return Result{Independent: true} // want "outside the proof-function allowlist"
+	return Result{Independent: true} // want "cannot trace to proof-kernel evidence"
 }
 
 func firstCtx(ctx context.Context, name string) error {

@@ -1,13 +1,28 @@
 // Package dtd is the fixture's stand-in for the real schema package:
 // compilecache matches NewCompiled by name and module-relative path,
-// so only the shape matters.
+// and frozenartifact treats Compiled as immutable outside this home
+// package, so only the shape matters.
 package dtd
+
+import "example.com/fix/internal/bitset"
 
 // DTD mirrors the real parsed schema.
 type DTD struct{ Name string }
 
-// Compiled mirrors the real compiled artifact.
-type Compiled struct{ d *DTD }
+// Compiled mirrors the real compiled artifact: an exported field and
+// accessors handing out shared views, like the real one.
+type Compiled struct {
+	d     *DTD
+	Label string
+	kids  []int
+	reach bitset.Set
+}
+
+// Children returns the shared child-symbol row.
+func (c *Compiled) Children(t int) []int { return c.kids }
+
+// Reach returns the shared reachability row.
+func (c *Compiled) Reach(t int) bitset.Set { return c.reach }
 
 // NewCompiled is the raw constructor; calling it here, inside the
 // defining package, is the one legal site.

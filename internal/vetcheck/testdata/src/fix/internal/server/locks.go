@@ -1,0 +1,96 @@
+// Firing and non-firing fixtures for lockdiscipline: double lock,
+// unlock of a cold mutex, blocking operations under a lock, a leak
+// past return, interprocedural re-acquisition, and a seeded two-lock
+// order inversion.
+package server
+
+import "sync"
+
+type Gate struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func doubleLock(g *Gate) {
+	g.mu.Lock()
+	g.mu.Lock() // want "acquired while already held"
+	g.mu.Unlock()
+}
+
+func unlockCold(g *Gate) {
+	g.mu.Unlock() // want "unlocked but not provably held"
+}
+
+func sendUnderLock(g *Gate) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- 1 // want "channel send while holding"
+}
+
+func recvUnderLock(g *Gate) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want "channel receive while holding"
+}
+
+// A select with a default never blocks: the enqueue idiom is legal
+// under a lock.
+func trySendUnderLock(g *Gate) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case g.ch <- 1:
+	default:
+	}
+}
+
+func leak(g *Gate, c bool) {
+	g.mu.Lock() // want "may still be held at return"
+	if c {
+		g.mu.Unlock()
+	}
+}
+
+// Releasing on every path (including early return) is clean.
+func branchRelease(g *Gate, c bool) {
+	g.mu.Lock()
+	if c {
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+}
+
+// Re-acquisition through a callee, caught by the interprocedural
+// may-acquire summary.
+func outer(g *Gate) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	inner(g) // want "may re-acquire"
+}
+
+func inner(g *Gate) {
+	g.mu.Lock()
+	g.mu.Unlock()
+}
+
+// Two functions taking the same pair of locks in opposite orders: a
+// cycle in the module-wide acquisition-order graph.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func lockAB(p *pair) {
+	p.a.Lock()
+	p.b.Lock() // want "lock-order inversion"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func lockBA(p *pair) {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}

@@ -1,0 +1,3 @@
+module example.com/mut
+
+go 1.22

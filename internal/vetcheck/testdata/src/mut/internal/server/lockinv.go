@@ -1,0 +1,24 @@
+// Seeded lock-order inversion: two functions acquire the same pair of
+// mutexes in opposite orders. The CI negative smoke asserts xqvet
+// exits non-zero on this module.
+package server
+
+import "sync"
+
+type Reg struct{ mu sync.Mutex }
+
+type Store struct{ mu sync.Mutex }
+
+func regThenStore(r *Reg, s *Store) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func storeThenReg(r *Reg, s *Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}

@@ -1,0 +1,21 @@
+// Module mut is the mutation fixture: hand-inserted defects that the
+// upgraded gate must catch and the old one provably missed. It carries
+// no want comments — tests and the CI negative smoke assert the gate
+// FAILS here.
+package mut
+
+// Report mirrors the public verdict struct (bare name in the default
+// configuration's VerdictTypes).
+type Report struct {
+	Independent bool
+	Method      string
+}
+
+// reportFromResult launders an unproven bool through a local before
+// it reaches Independent. Under the old name-based allowlist this
+// function's name made everything inside it legal; verdictflow judges
+// the value instead and rejects it.
+func reportFromResult(verdict bool) Report {
+	ok := verdict
+	return Report{Independent: ok, Method: "chains"}
+}

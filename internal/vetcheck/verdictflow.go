@@ -1,0 +1,509 @@
+package vetcheck
+
+// checkVerdictFlow guards the soundness theorem itself (Thm 3.2 via
+// DESIGN.md §5/§12): every value that reaches a verdict struct's
+// Independent field must be *evidence* — dominated, on all CFG paths,
+// by a value the proof kernel produced. The kernel (Config.ProofFuncs)
+// is the small set of engine functions that actually carry the
+// paper's argument; everything else — core's ladder, the server glue,
+// the public Report constructors — is verified by dataflow instead of
+// being allowlisted, which is what catches laundering through locals,
+// struct copies and helper returns that a name-based allowlist
+// cannot see.
+//
+// The evidence judgment over an expression, given the flow state:
+//
+//   - the constant false is evidence (conservatism is always sound);
+//   - reading .Independent from any verdict-typed value is evidence —
+//     sound by induction, because every write site module-wide is
+//     itself checked (including across packages: verdict types match
+//     by module-relative path, not type identity, so export-data
+//     imports cannot hide a write);
+//   - a local variable is evidence when the flow analysis proves it
+//     holds evidence on every path reaching the use;
+//   - a call of an in-module helper is evidence when a per-function
+//     summary (computed to fixpoint over the call graph, coinductively
+//     for recursion) proves every return statement yields evidence;
+//   - e1 && e2 is evidence when either operand is (conjunction can
+//     only lower a sound verdict); e1 || e2 only when both are;
+//   - everything else — the literal true, negation, params, channel
+//     receives, foreign calls — is unproven.
+//
+// Writing an unproven value into Independent (by assignment or keyed
+// composite literal), a positional verdict literal, and taking the
+// address of an Independent field are findings outside the kernel.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// vfState maps local objects proven to hold evidence; absence means
+// unproven. Join over paths is therefore set intersection.
+type vfState map[types.Object]bool
+
+var vfFlow = flowFuncs[vfState]{
+	copy: func(s vfState) vfState {
+		out := make(vfState, len(s))
+		for k := range s {
+			out[k] = true
+		}
+		return out
+	},
+	join: func(a, b vfState) vfState {
+		out := vfState{}
+		for k := range a {
+			if b[k] {
+				out[k] = true
+			}
+		}
+		return out
+	},
+	equal: func(a, b vfState) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	},
+}
+
+func checkVerdictFlow(p *pass) {
+	p.ensureGraph()
+	for _, pkg := range p.mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				for _, u := range unitsOf(fd) {
+					p.vfCheckUnit(pkg, u)
+				}
+			}
+		}
+	}
+}
+
+// verdictType reports whether t (possibly behind a pointer) is one of
+// the configured verdict structs, matched by module-relative path so
+// uses through export data are recognized too.
+func (p *pass) verdictType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	rel, ok := p.relOfTypesPkg(obj.Pkg())
+	if !ok {
+		return false
+	}
+	return p.cfg.VerdictTypes[relKey(rel, obj.Name())]
+}
+
+func (p *pass) inProofFunc(pkg *Package, decl *ast.FuncDecl) bool {
+	return decl != nil && p.cfg.ProofFuncs[relName(pkg, decl.Name.Name)]
+}
+
+// vfCheckUnit runs the evidence flow over one unit and reports every
+// unproven verdict write. Units inside the proof kernel are exempt —
+// they are the axioms the rest of the module is checked against.
+func (p *pass) vfCheckUnit(pkg *Package, u funcUnit) {
+	if p.inProofFunc(pkg, u.decl) {
+		return
+	}
+	g := buildCFG(pkg, u.body)
+	entry := p.vfEntryState(pkg, u)
+	in := forwardFlow(g, entry, p.vfFlowFuncs(pkg))
+	for _, b := range reachableBlocks(g, in) {
+		s := vfFlow.copy(in[b])
+		for _, n := range b.nodes {
+			p.vfReportNode(pkg, s, n)
+			s = p.vfTransfer(pkg, s, n)
+		}
+	}
+}
+
+// vfEntryState seeds the flow: named bool results start as evidence
+// (their zero value is the conservative false); parameters and
+// captured variables start unproven.
+func (p *pass) vfEntryState(pkg *Package, u funcUnit) vfState {
+	s := vfState{}
+	var results *ast.FieldList
+	if u.lit != nil {
+		results = u.lit.Type.Results
+	} else {
+		results = u.decl.Type.Results
+	}
+	if results == nil {
+		return s
+	}
+	for _, f := range results.List {
+		for _, name := range f.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil && isBoolType(obj.Type()) {
+				s[obj] = true
+			}
+		}
+	}
+	return s
+}
+
+func (p *pass) vfFlowFuncs(pkg *Package) flowFuncs[vfState] {
+	f := vfFlow
+	f.transfer = func(s vfState, n ast.Node) vfState {
+		return p.vfTransfer(pkg, s, n)
+	}
+	return f
+}
+
+func isBoolType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsBoolean != 0
+}
+
+// vfTransfer updates local evidence facts for one node.
+func (p *pass) vfTransfer(pkg *Package, s vfState, n ast.Node) vfState {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		p.vfAssign(pkg, s, n)
+	case *ast.DeclStmt:
+		gen, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return s
+		}
+		for _, spec := range gen.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				obj := pkg.Info.Defs[name]
+				if obj == nil || !isBoolType(obj.Type()) {
+					continue
+				}
+				switch {
+				case len(vs.Values) == 0:
+					s[obj] = true // zero value: false, evidence
+				case len(vs.Values) == len(vs.Names):
+					setEvid(s, obj, p.vfEvid(pkg, s, vs.Values[i]))
+				default:
+					setEvid(s, obj, p.vfCallResultEvid(pkg, vs.Values[0], i))
+				}
+			}
+		}
+	case *rangeMarker:
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					delete(s, obj)
+				} else if obj := pkg.Info.Uses[id]; obj != nil {
+					delete(s, obj)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func setEvid(s vfState, obj types.Object, evid bool) {
+	if evid {
+		s[obj] = true
+	} else {
+		delete(s, obj)
+	}
+}
+
+// vfAssign applies an assignment's effect on tracked locals. Verdict
+// field writes are judged in vfReportNode, not here.
+func (p *pass) vfAssign(pkg *Package, s vfState, as *ast.AssignStmt) {
+	multiCall := len(as.Lhs) > 1 && len(as.Rhs) == 1
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj == nil || !isBoolType(obj.Type()) {
+			continue
+		}
+		switch {
+		case multiCall:
+			setEvid(s, obj, p.vfCallResultEvid(pkg, as.Rhs[0], i))
+		case len(as.Lhs) == len(as.Rhs):
+			setEvid(s, obj, p.vfEvid(pkg, s, as.Rhs[i]))
+		default:
+			// Comma-ok forms, tuple mismatches: unproven.
+			delete(s, obj)
+		}
+	}
+}
+
+// vfEvid is the evidence judgment for a single-valued expression.
+func (p *pass) vfEvid(pkg *Package, s vfState, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if constFalse(pkg, e) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return p.vfEvid(pkg, s, e.X)
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		if obj == nil {
+			obj = pkg.Info.Defs[e]
+		}
+		return obj != nil && s[obj]
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "Independent" {
+			return false
+		}
+		tv, ok := pkg.Info.Types[e.X]
+		return ok && p.verdictType(tv.Type)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			return p.vfEvid(pkg, s, e.X) || p.vfEvid(pkg, s, e.Y)
+		case token.LOR:
+			return p.vfEvid(pkg, s, e.X) && p.vfEvid(pkg, s, e.Y)
+		}
+		return false
+	case *ast.CallExpr:
+		return p.vfCallResultEvid(pkg, e, 0)
+	}
+	return false
+}
+
+// constFalse reports whether e is a constant-false expression.
+func constFalse(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	b, ok := boolConst(tv)
+	return ok && !b
+}
+
+func boolConst(tv types.TypeAndValue) (bool, bool) {
+	if tv.Value == nil || tv.Value.Kind() != constant.Bool {
+		return false, false
+	}
+	return constant.BoolVal(tv.Value), true
+}
+
+// vfCallResultEvid consults the callee's evidence summary for result
+// index i. Only direct calls of in-module declared functions have
+// summaries; everything else is unproven.
+func (p *pass) vfCallResultEvid(pkg *Package, e ast.Expr, i int) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sum := p.vfSummary(fn)
+	return i < len(sum) && sum[i]
+}
+
+// vfSummary computes (memoized) whether each result of fn is evidence
+// on every return path. Recursion is resolved coinductively: an
+// in-progress callee is assumed to deliver evidence, which yields the
+// greatest fixpoint — sound, because any concrete execution bottoms
+// out in a return that is judged on its own.
+func (p *pass) vfSummary(fn *types.Func) []bool {
+	if sum, ok := p.vfSummaries[fn]; ok {
+		return sum
+	}
+	decl := p.declOf[types.Object(fn)]
+	if decl == nil || decl.Body == nil {
+		p.vfSummaries[fn] = nil
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		p.vfSummaries[fn] = nil
+		return nil
+	}
+	nres := sig.Results().Len()
+	anyBool := false
+	for i := 0; i < nres; i++ {
+		if isBoolType(sig.Results().At(i).Type()) {
+			anyBool = true
+		}
+	}
+	if !anyBool {
+		p.vfSummaries[fn] = nil
+		return nil
+	}
+	pkg := p.pkgOfObj(fn)
+	if pkg == nil {
+		p.vfSummaries[fn] = nil
+		return nil
+	}
+	// Optimistic seed for recursive helpers (coinduction).
+	seed := make([]bool, nres)
+	for i := 0; i < nres; i++ {
+		seed[i] = isBoolType(sig.Results().At(i).Type())
+	}
+	p.vfSummaries[fn] = seed
+
+	u := funcUnit{decl: decl, body: decl.Body}
+	g := buildCFG(pkg, u.body)
+	entry := p.vfEntryState(pkg, u)
+	in := forwardFlow(g, entry, p.vfFlowFuncs(pkg))
+
+	namedResults := namedResultObjs(pkg, decl)
+	proven := make([]bool, nres)
+	copy(proven, seed)
+	sawReturn := false
+	for _, b := range reachableBlocks(g, in) {
+		s := vfFlow.copy(in[b])
+		for _, n := range b.nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				sawReturn = true
+				p.vfFoldReturn(pkg, s, ret, namedResults, proven)
+			}
+			s = p.vfTransfer(pkg, s, n)
+		}
+	}
+	if !sawReturn {
+		// No reachable return: vacuously keep the seed.
+		return seed
+	}
+	p.vfSummaries[fn] = proven
+	return proven
+}
+
+func namedResultObjs(pkg *Package, decl *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if decl.Type.Results == nil {
+		return nil
+	}
+	for _, f := range decl.Type.Results.List {
+		if len(f.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range f.Names {
+			out = append(out, pkg.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+// vfFoldReturn ANDs one return statement's evidence into proven.
+func (p *pass) vfFoldReturn(pkg *Package, s vfState, ret *ast.ReturnStmt, named []types.Object, proven []bool) {
+	switch {
+	case len(ret.Results) == 0:
+		// Naked return: named results carry their flow state.
+		for i := range proven {
+			ok := i < len(named) && named[i] != nil && s[named[i]]
+			proven[i] = proven[i] && ok
+		}
+	case len(ret.Results) == 1 && len(proven) > 1:
+		// return f() forwarding a tuple.
+		for i := range proven {
+			proven[i] = proven[i] && p.vfCallResultEvid(pkg, ret.Results[0], i)
+		}
+	default:
+		for i := range proven {
+			if i < len(ret.Results) {
+				proven[i] = proven[i] && p.vfEvid(pkg, s, ret.Results[i])
+			}
+		}
+	}
+}
+
+// vfReportNode flags unproven verdict writes in one node, judged in
+// the state holding at that node.
+func (p *pass) vfReportNode(pkg *Package, s vfState, n ast.Node) {
+	inspectShallow(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CompositeLit:
+			p.vfReportLit(pkg, s, x)
+		case *ast.AssignStmt:
+			p.vfReportAssign(pkg, s, x)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok && sel.Sel.Name == "Independent" {
+					if tv, ok := pkg.Info.Types[sel.X]; ok && p.verdictType(tv.Type) {
+						p.report("verdictflow", x.Pos(),
+							"address of a verdict's Independent field escapes the dataflow proof; write through the field directly")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (p *pass) vfReportLit(pkg *Package, s vfState, lit *ast.CompositeLit) {
+	tv, ok := pkg.Info.Types[lit]
+	if !ok || !p.verdictType(tv.Type) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			// Positional verdict literals hide which value lands in
+			// Independent; demand the proof kernel outright.
+			p.report("verdictflow", lit.Pos(),
+				"positional composite literal of verdict type outside the proof kernel; use keyed fields")
+			return
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Independent" {
+			continue
+		}
+		if !p.vfEvid(pkg, s, kv.Value) {
+			p.report("verdictflow", kv.Pos(),
+				"Independent set to a value the dataflow analysis cannot trace to proof-kernel evidence (see DESIGN.md §12)")
+		}
+	}
+}
+
+func (p *pass) vfReportAssign(pkg *Package, s vfState, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Independent" {
+			continue
+		}
+		tv, ok := pkg.Info.Types[sel.X]
+		if !ok || !p.verdictType(tv.Type) {
+			continue
+		}
+		evid := false
+		if len(as.Lhs) == len(as.Rhs) && i < len(as.Rhs) {
+			evid = p.vfEvid(pkg, s, as.Rhs[i])
+		}
+		if !evid {
+			p.report("verdictflow", as.Pos(),
+				"Independent assigned a value the dataflow analysis cannot trace to proof-kernel evidence (see DESIGN.md §12)")
+		}
+	}
+}

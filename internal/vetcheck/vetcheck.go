@@ -4,7 +4,7 @@
 // keep the engine's independence verdicts sound and its serving layer
 // deterministic. See DESIGN.md §5 for the invariant each check guards.
 //
-// The seven checks:
+// The nine checks:
 //
 //	panicdiscipline — panics in engine packages carry
 //	    *guard.InternalError (or sit in Must* constructors), every go
@@ -12,8 +12,18 @@
 //	    the recover builtin itself is reserved to internal/guard.
 //	budgetpoints — every (mutually) recursive function in the
 //	    chain/CDAG/inference packages consults the guard.Budget.
-//	verdictsites — Independent=true is only ever produced inside the
-//	    allowlisted proof functions.
+//	verdictflow — a flow-sensitive proof obligation: every value that
+//	    reaches an Independent field of a verdict type must be
+//	    dominated, on all CFG paths, by evidence from the proof kernel
+//	    (see DESIGN.md §12). Replaces the old name-based verdictsites
+//	    allowlist.
+//	lockdiscipline — held-locks dataflow over the service packages:
+//	    no double acquisition, no blocking operation under a lock, a
+//	    cycle-free module-wide acquisition order, no lock leaked past
+//	    return.
+//	frozenartifact — compiled schemas, interned chains, and the bitset
+//	    rows they expose are immutable once constructed; mutations are
+//	    confined to their home packages.
 //	ctxflow — context.Context is the first parameter;
 //	    context.Background()/TODO() only at annotated detach points.
 //	clockinject — internal/server and internal/faultinject never read
@@ -72,8 +82,17 @@ type Config struct {
 	// VerdictTypes are the structs whose Independent field carries the
 	// paper's soundness guarantee.
 	VerdictTypes map[string]bool
-	// ProofFuncs may set Independent to a non-false value.
+	// ProofFuncs are the proof kernel: the only functions allowed to
+	// originate Independent=true out of thin air. Everywhere else,
+	// verdictflow demands the value be traceable to kernel evidence.
 	ProofFuncs map[string]bool
+	// LockPackages: lockdiscipline runs its held-locks dataflow here.
+	LockPackages map[string]bool
+	// FrozenTypes are the artifact types immutable after construction.
+	FrozenTypes map[string]bool
+	// FrozenHomePackages may mutate frozen artifacts (constructors and
+	// the bitset rows they build live here).
+	FrozenHomePackages map[string]bool
 	// ClockPackages: ambient time and global math/rand are banned.
 	ClockPackages map[string]bool
 	// FSPackages: ambient os file functions are banned outside
@@ -111,15 +130,27 @@ func DefaultConfig() Config {
 			"internal/core.Result", "internal/server.AnalyzeResponse",
 			"Report",
 		),
+		// The proof kernel proper. The plumbing that used to need
+		// allowlisting (core.analyzeOnce, server.Analyze,
+		// reportFromResult) is now verified by the verdictflow
+		// dataflow instead: every Independent they forward is read
+		// from an already-checked verdict value.
 		ProofFuncs: set(
 			"internal/cdag.CheckIndependence",
 			"internal/refcdag.CheckIndependence",
 			"internal/infer.CheckIndependence",
 			"internal/typeanalysis.CheckIndependence",
 			"internal/pathanalysis.IndependenceBudget",
-			"internal/core.analyzeOnce",
-			"internal/server.Analyze",
-			"reportFromResult",
+		),
+		LockPackages: set(
+			"internal/server", "internal/quarantine",
+			"internal/sentinel", "internal/statefile", "internal/dtd",
+		),
+		FrozenTypes: set(
+			"internal/dtd.Compiled", "internal/chain.Interned",
+		),
+		FrozenHomePackages: set(
+			"internal/dtd", "internal/chain", "internal/bitset",
 		),
 		ClockPackages: set(
 			"internal/server", "internal/faultinject",
@@ -141,8 +172,9 @@ func set(keys ...string) map[string]bool {
 
 // CheckNames lists the checks in canonical order.
 var CheckNames = []string{
-	"panicdiscipline", "budgetpoints", "verdictsites", "ctxflow",
-	"clockinject", "compilecache", "fsdiscipline",
+	"panicdiscipline", "budgetpoints", "verdictflow", "lockdiscipline",
+	"frozenartifact", "ctxflow", "clockinject", "compilecache",
+	"fsdiscipline",
 }
 
 type checkFunc func(*pass)
@@ -150,7 +182,9 @@ type checkFunc func(*pass)
 var checkFuncs = map[string]checkFunc{
 	"panicdiscipline": checkPanicDiscipline,
 	"budgetpoints":    checkBudgetPoints,
-	"verdictsites":    checkVerdictSites,
+	"verdictflow":     checkVerdictFlow,
+	"lockdiscipline":  checkLockDiscipline,
+	"frozenartifact":  checkFrozenArtifact,
 	"ctxflow":         checkCtxFlow,
 	"clockinject":     checkClockInject,
 	"compilecache":    checkCompileCache,
@@ -165,8 +199,15 @@ type pass struct {
 	// declOf maps a function object to its declaration, module-wide.
 	declOf map[types.Object]*ast.FuncDecl
 	// graph is the intra-module call graph (see callgraph.go), built
-	// lazily by budgetpoints.
+	// lazily via ensureGraph.
 	graph *callGraph
+	// vfSummaries memoizes verdictflow's per-function evidence
+	// summaries: for each result position, whether every return ships
+	// proof-kernel evidence there.
+	vfSummaries map[*types.Func][]bool
+	// ldSummaries memoizes lockdiscipline's may-acquire / may-block
+	// facts per module function.
+	ldSummaries map[types.Object]*ldSummary
 }
 
 func (p *pass) report(check string, pos token.Pos, format string, args ...any) {
@@ -204,7 +245,49 @@ func RunModule(mod *Module, checks []string, cfg Config) ([]Finding, error) {
 		enabled[c] = true
 	}
 
-	p := &pass{mod: mod, cfg: cfg, declOf: map[types.Object]*ast.FuncDecl{}}
+	p := newPass(mod, cfg)
+	for _, name := range CheckNames { // canonical order, stable output
+		if enabled[name] {
+			checkFuncs[name](p)
+		}
+	}
+
+	pragmas := collectPragmas(mod)
+	findings := applyPragmas(p.findings, pragmas, enabled, mod)
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings by (file, line, column, check, message)
+// — a total order, so runs over the same tree print identically and CI
+// diffs stay stable regardless of package-load or map-iteration order.
+func SortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// newPass indexes the module's declarations for a fresh run.
+func newPass(mod *Module, cfg Config) *pass {
+	p := &pass{
+		mod:         mod,
+		cfg:         cfg,
+		declOf:      map[types.Object]*ast.FuncDecl{},
+		vfSummaries: map[*types.Func][]bool{},
+	}
 	for _, pkg := range mod.Pkgs {
 		for _, f := range pkg.Files {
 			for _, d := range f.Decls {
@@ -216,25 +299,7 @@ func RunModule(mod *Module, checks []string, cfg Config) ([]Finding, error) {
 			}
 		}
 	}
-	for _, name := range CheckNames { // canonical order, stable output
-		if enabled[name] {
-			checkFuncs[name](p)
-		}
-	}
-
-	pragmas := collectPragmas(mod)
-	findings := applyPragmas(p.findings, pragmas, enabled, mod)
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].Pos, findings[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return findings[i].Check < findings[j].Check
-	})
-	return findings, nil
+	return p
 }
 
 // pragma is one parsed //xqvet:ignore comment.
@@ -339,6 +404,56 @@ func relName(pkg *Package, name string) string {
 		return name
 	}
 	return pkg.Rel + "." + name
+}
+
+// relKey builds the same config key from a module-relative path.
+func relKey(rel, name string) string {
+	if rel == "" {
+		return name
+	}
+	return rel + "." + name
+}
+
+// relOfTypesPkg maps a types.Package back to its module-relative path.
+// It matches by import-path suffix, not pointer identity, because the
+// same package is represented by distinct *types.Package values when
+// reached through export data of different importers.
+func (p *pass) relOfTypesPkg(tp *types.Package) (string, bool) {
+	if tp == nil {
+		return "", false
+	}
+	path := tp.Path()
+	if path == p.mod.Path {
+		return "", true
+	}
+	if rel, ok := strings.CutPrefix(path, p.mod.Path+"/"); ok {
+		return rel, true
+	}
+	return "", false
+}
+
+// pkgOfObj finds the loaded *Package defining obj, nil for objects
+// outside the module.
+func (p *pass) pkgOfObj(obj types.Object) *Package {
+	rel, ok := p.relOfTypesPkg(obj.Pkg())
+	if !ok {
+		return nil
+	}
+	for _, pkg := range p.mod.Pkgs {
+		if pkg.Rel == rel {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// ensureGraph builds the module call graph (with SCC ids assigned) on
+// first use so any check can rely on it without caring which ran first.
+func (p *pass) ensureGraph() {
+	if p.graph == nil {
+		p.graph = buildCallGraph(p)
+		p.graph.sccs()
+	}
 }
 
 // isGuardInternalError reports whether t is *P.InternalError for some
