@@ -12,12 +12,15 @@ package xqindep
 // cmd/xqbench renders the same experiments as paper-style tables.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"xqindep/internal/cdag"
+	"xqindep/internal/core"
 	"xqindep/internal/eval"
 	"xqindep/internal/pathanalysis"
+	"xqindep/internal/plan"
 	"xqindep/internal/rbench"
 	"xqindep/internal/refcdag"
 	"xqindep/internal/typeanalysis"
@@ -288,6 +291,45 @@ func BenchmarkEvaluator(b *testing.B) {
 	b.Run("generate", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			xmark.GenerateDocument(int64(i), 1)
+		}
+	})
+}
+
+// BenchmarkPreparedVsCold measures one full 36×31 XMark matrix pass
+// through the staged analysis pipeline, cold (a fresh plan cache per
+// iteration, so every pair fingerprints, infers and conflict-checks
+// from scratch) against warm (one cache populated before the timer, so
+// every pair is a fingerprint-keyed lookup plus the per-request
+// admission recheck). cmd/xqbench -plan-bench writes the same
+// comparison, with per-request percentiles, to BENCH_plancache.json.
+func BenchmarkPreparedVsCold(b *testing.B) {
+	d := xmark.Schema()
+	a := core.NewAnalyzer(d)
+	views, updates := xmark.Views(), xmark.Updates()
+	ctx := context.Background()
+	pass := func(b *testing.B, opts core.Options) {
+		b.Helper()
+		for _, v := range views {
+			for _, u := range updates {
+				if _, err := a.AnalyzeContext(ctx, v.AST, u.AST, core.MethodChains, opts); err != nil {
+					b.Fatalf("%s×%s: %v", v.Name, u.Name, err)
+				}
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pass(b, core.Options{Plans: plan.NewCache(plan.DefaultCacheSize)})
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		opts := core.Options{Plans: plan.NewCache(plan.DefaultCacheSize)}
+		pass(b, opts) // populate: the timed passes all hit
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pass(b, opts)
 		}
 	})
 }

@@ -18,6 +18,10 @@
 // conservative "possibly DEPENDENT"), unless -no-fallback is given,
 // in which case the overrun is an error.
 //
+// -show-plan reports whether the verdict came from a warm prepared
+// plan or a cold build, plus the content fingerprints the plan cache
+// keys on — sugared variants of the same logical pair share them.
+//
 // -audit re-derives an Independent verdict on independent machinery —
 // the reference chain engine plus a dynamic-oracle replay on generated
 // documents — exactly as the daemon's runtime audit lane would. It is
@@ -66,6 +70,7 @@ func run() int {
 		noFallback  = flag.Bool("no-fallback", false, "fail on budget overrun instead of degrading to a weaker method")
 		lint        = flag.Bool("lint", false, "warn when the query or update matches zero chains under the schema (usually a path typo)")
 		audit       = flag.Bool("audit", false, "re-derive an Independent verdict on the audit machinery (shadow engine + dynamic oracle); exit 4 on disagreement")
+		showPlan    = flag.Bool("show-plan", false, "print prepared-plan provenance (warm/cold) and the fingerprints the plan cache keys on")
 	)
 	flag.Parse()
 	if *schemaFile == "" || *updateText == "" || (*queryText == "" && *update2Text == "") {
@@ -170,6 +175,9 @@ func run() int {
 		if rep.Degraded {
 			fmt.Printf("  [degraded from %s: %v]", m, rep.Err)
 		}
+		if *showPlan && rep.Plan != "" {
+			fmt.Printf("  plan=%s", rep.Plan)
+		}
 		fmt.Println()
 		for _, w := range rep.Witnesses {
 			fmt.Printf("    conflict: %s\n", w)
@@ -178,6 +186,10 @@ func run() int {
 			independent = rep.Independent
 			degraded = rep.Degraded
 		}
+	}
+	if *showPlan {
+		fmt.Printf("\nplan cache key:\n  schema  %s\n  query   %s\n  update  %s\n  pair    %s\n",
+			schema.Fingerprint(), q.Fingerprint(), u.Fingerprint(), xqindep.PairFingerprint(q, u))
 	}
 	if *explain || *lint {
 		ev, err := schema.ExplainChains(q, u)

@@ -20,6 +20,11 @@
 // included); 400 malformed input, 429 shed by admission control, 503
 // draining. 429/503 responses carry a Retry-After hint.
 //
+// Repeated (schema, query, update) pairs are served from a bounded
+// prepared-plan cache keyed on content fingerprints (size set by
+// -plan-cache); /statz reports its hit ratio under "plan_cache" and
+// responses carry "plan": "warm"/"cold" provenance.
+//
 // With -audit-rate > 0 the daemon samples Independent verdicts and
 // re-derives them off the request path on independent machinery (the
 // reference chain engine plus a dynamic-oracle replay); a disagreement
@@ -94,6 +99,7 @@ func run() int {
 		spoolMax    = flag.Int64("audit-spool-max", 0, "rotate -audit-spool after this many bytes (0 = 8 MiB); 4 rotated files are kept")
 		stateDir    = flag.String("state-dir", "", "durable state directory: quarantine decisions and audit incidents survive restarts (empty disables)")
 		memMark     = flag.Uint64("mem-watermark", 0, "shed admissions while heap usage exceeds this many bytes (0 disables)")
+		planCache   = flag.Int("plan-cache", 0, "resident prepared-plan bound; repeated (schema, query, update) pairs reuse the compiled analysis (0 = 4096, negative disables reuse)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -150,6 +156,7 @@ func run() int {
 		AuditSeed:       *auditSeed,
 		MemoryWatermark: *memMark,
 		StateDir:        *stateDir,
+		PlanCacheSize:   *planCache,
 	}
 	if spool != nil {
 		opts.AuditSpool = spool

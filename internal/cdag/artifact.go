@@ -1,0 +1,144 @@
+package cdag
+
+import (
+	"encoding/binary"
+	"hash"
+	"hash/fnv"
+
+	"xqindep/internal/bitset"
+	"xqindep/internal/dtd"
+)
+
+// This file is the artifact-integrity seam between the CDAG engine
+// and the prepared-analysis plan cache (internal/plan): a cached
+// CompiledExpr embeds a fully evaluated Verdict, and the cache's
+// verify-on-hit protocol needs a deterministic content digest of that
+// verdict's chain DAGs to detect a resident mutated after
+// construction. CorruptedCopy is the matching chaos support, the
+// Verdict analogue of dtd.Compiled.WithCorruption.
+
+func digestInt(h hash.Hash64, v int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+func digestBits(h hash.Hash64, s bitset.Set) {
+	digestInt(h, len(s))
+	var buf [8]byte
+	for _, w := range s {
+		binary.LittleEndian.PutUint64(buf[:], w)
+		h.Write(buf[:])
+	}
+}
+
+// digestSet hashes a chain set's rows in deterministic order: roots,
+// adjacency rows by (depth, symbol), endpoint rows by depth. A nil
+// set hashes as a distinct marker so presence is part of the digest.
+func digestSet(h hash.Hash64, s *Set) {
+	if s == nil {
+		digestInt(h, -1)
+		return
+	}
+	digestBits(h, s.roots)
+	digestInt(h, len(s.out))
+	for _, row := range s.out {
+		digestInt(h, len(row))
+		for _, bits := range row {
+			digestBits(h, bits)
+		}
+	}
+	digestInt(h, len(s.ends))
+	for _, bits := range s.ends {
+		digestBits(h, bits)
+	}
+}
+
+func digestMarks(h hash.Hash64, m Marks) {
+	digestInt(h, len(m))
+	for _, bits := range m {
+		digestBits(h, bits)
+	}
+}
+
+// Digest returns a deterministic content hash of the verdict: the
+// decision, the multiplicity, the conflict reasons, the engine
+// context (k, depth bound, interned extra tags) and every chain-DAG
+// row of the query and update sets. Equal verdicts digest equally
+// across processes; any stray write through a shared row changes the
+// digest. The plan cache folds it into the CompiledExpr checksum its
+// verify-on-hit protocol re-derives.
+func (v Verdict) Digest() uint64 {
+	h := fnv.New64a()
+	if v.Independent {
+		digestInt(h, 1)
+	} else {
+		digestInt(h, 0)
+	}
+	digestInt(h, v.K)
+	digestInt(h, len(v.Reasons))
+	for _, r := range v.Reasons {
+		digestInt(h, len(r))
+		h.Write([]byte(r))
+	}
+	// Engine context: every set of one verdict shares one engine.
+	var eng *Engine
+	for _, s := range []*Set{v.Query.Ret, v.Query.Used, v.Query.Elem} {
+		if s != nil {
+			eng = s.eng
+			break
+		}
+	}
+	if eng == nil && v.Update != nil && v.Update.Full != nil {
+		eng = v.Update.Full.eng
+	}
+	if eng != nil {
+		digestInt(h, eng.K)
+		digestInt(h, eng.MaxDepth)
+		digestInt(h, eng.base)
+		digestInt(h, len(eng.extraNames))
+		for _, name := range eng.extraNames {
+			digestInt(h, len(name))
+			h.Write([]byte(name))
+		}
+	}
+	digestSet(h, v.Query.Ret)
+	digestSet(h, v.Query.Used)
+	digestSet(h, v.Query.Elem)
+	if v.Update == nil {
+		digestInt(h, -1)
+	} else {
+		digestSet(h, v.Update.Full)
+		digestMarks(h, v.Update.ChangeRegion)
+	}
+	return h.Sum64()
+}
+
+// CorruptedCopy returns a copy of the verdict with the decision
+// flipped and one endpoint bit of a *cloned* return-chain row
+// toggled — exactly the damage a stray write through a shared row
+// would do, applied to a private copy so the original verdict (a
+// cache resident) stays intact. It is chaos-test support for the
+// corrupt-artifact fault kind at the plan layer: Digest (and the plan
+// checksum built on it) changes, Verify on the corrupted plan fails,
+// and any engine reading the flipped verdict produces exactly the
+// unsoundness the sentinel audit layer must contain. Never use it
+// outside tests and chaos harnesses.
+func (v Verdict) CorruptedCopy(seed int64) Verdict {
+	out := v
+	//xqvet:ignore verdictflow deliberate chaos corruption of a private copy; the sentinel audit layer catches the unsound verdicts it causes
+	out.Independent = !v.Independent
+	if r := v.Query.Ret; r != nil && r.eng != nil {
+		c := r.Clone()
+		if n := c.eng.total(); n > 0 {
+			sym := int(uint64(seed) % uint64(n))
+			if c.isEnd(0, dtd.SymID(sym)) {
+				c.ends[0].Remove(sym)
+			} else {
+				c.addEnd(0, dtd.SymID(sym))
+			}
+		}
+		out.Query.Ret = c
+	}
+	return out
+}

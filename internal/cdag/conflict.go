@@ -208,29 +208,15 @@ func IndependenceBudgetCompiled(c *dtd.Compiled, q xquery.Query, u xquery.Update
 
 // EngineFor builds the engine with the multiplicity and alphabet
 // extension appropriate for the pair; q or u may be nil when only one
-// side is analysed.
+// side is analysed. The multiplicity k = kq + ku of Table 3 comes
+// from infer.KPair, the single implementation all engines share.
 func EngineFor(d *dtd.DTD, q xquery.Query, u xquery.Update) *Engine {
-	return NewEngine(d, pairK(q, u), pairExtras(d, q, u))
+	return NewEngine(d, infer.KPair(q, u), pairExtras(d, q, u))
 }
 
 // EngineForCompiled is EngineFor over a pre-compiled schema.
 func EngineForCompiled(c *dtd.Compiled, q xquery.Query, u xquery.Update) *Engine {
-	return NewEngineCompiled(c, pairK(q, u), pairExtras(c.DTD(), q, u))
-}
-
-// pairK is the pair multiplicity k = kq + ku of Table 3.
-func pairK(q xquery.Query, u xquery.Update) int {
-	k := 0
-	if q != nil {
-		k += infer.KQuery(q)
-	}
-	if u != nil {
-		k += infer.KUpdate(u)
-	}
-	if k < 1 {
-		k = 1
-	}
-	return k
+	return NewEngineCompiled(c, infer.KPair(q, u), pairExtras(c.DTD(), q, u))
 }
 
 // pairExtras counts the constructed tags outside the schema alphabet.

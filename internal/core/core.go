@@ -14,11 +14,11 @@ import (
 	"fmt"
 	"time"
 
-	"xqindep/internal/cdag"
 	"xqindep/internal/dtd"
 	"xqindep/internal/guard"
 	"xqindep/internal/infer"
 	"xqindep/internal/pathanalysis"
+	"xqindep/internal/plan"
 	"xqindep/internal/quarantine"
 	"xqindep/internal/typeanalysis"
 	"xqindep/internal/xquery"
@@ -113,6 +113,11 @@ type Result struct {
 	// Err is the budget error that forced the first degradation
 	// (wraps guard.ErrBudgetExceeded). Nil unless Degraded.
 	Err error
+	// Plan reports prepared-plan provenance for the CDAG chain rung:
+	// "warm" when the verdict came from a cached CompiledExpr, "cold"
+	// when this request ran the inference stages. Empty for every
+	// other method.
+	Plan string
 }
 
 // Options configures AnalyzeContext.
@@ -131,6 +136,11 @@ type Options struct {
 	// suspect engines. Nil selects the process-wide quarantine.Shared(),
 	// which downgrades nothing until an auditor records a disagreement.
 	Quarantine *quarantine.Registry
+	// Plans is the prepared-plan cache consulted by the CDAG chain
+	// rung: the staged pipeline (fingerprint → lookup → k-factors →
+	// inference) resolves repeated logical pairs to one cached
+	// artifact. Nil selects the process-wide plan.Shared().
+	Plans *plan.Cache
 }
 
 // Analyzer decides query-update independence for documents valid
@@ -233,11 +243,15 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, q xquery.Query, u xquery.
 	if opts.NoFallback {
 		ladder = ladder[:1]
 	}
+	plans := opts.Plans
+	if plans == nil {
+		plans = plan.Shared()
+	}
 	var attempted []Method
 	var firstBudgetErr error
 	for i, rung := range ladder {
 		attempted = append(attempted, rung)
-		res, err := a.analyzeOnce(ctx, rung, q, u, opts.Limits)
+		res, err := a.analyzeOnce(ctx, rung, q, u, opts.Limits, plans)
 		if err == nil {
 			res.Elapsed = time.Since(start)
 			if i > 0 {
@@ -262,21 +276,18 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, q xquery.Query, u xquery.
 
 // analyzeOnce runs a single ladder rung under a fresh budget, with
 // the panic-to-error boundary installed.
-func (a *Analyzer) analyzeOnce(ctx context.Context, m Method, q xquery.Query, u xquery.Update, lim guard.Limits) (res Result, err error) {
+func (a *Analyzer) analyzeOnce(ctx context.Context, m Method, q xquery.Query, u xquery.Update, lim guard.Limits, plans *plan.Cache) (res Result, err error) {
 	defer guard.Recover(&err)
 	b := guard.New(ctx, lim)
 	b.Point("core.analyze")
 	res.Method = m
 	switch m {
 	case MethodChains:
-		k := infer.KPair(q, u)
-		if err := b.CheckK(k); err != nil {
-			return Result{}, err
-		}
 		if a.C == nil {
 			return Result{}, fmt.Errorf("core: schema compilation failed: %w", a.compileErr)
 		}
 		c := a.C
+		cache := plans
 		if ferr := guard.FirePoint(b.Context(), "core.artifact"); ferr != nil {
 			if !errors.Is(ferr, guard.ErrArtifactCorrupt) {
 				return Result{}, ferr
@@ -284,13 +295,25 @@ func (a *Analyzer) analyzeOnce(ctx context.Context, m Method, q xquery.Query, u 
 			// Chaos corrupt-artifact injection: analyze on a privately
 			// corrupted copy (the shared cache resident stays intact —
 			// corruption must not leak across requests). The copy's
-			// damage is deterministic per schema.
+			// damage is deterministic per schema. The plan cache is
+			// bypassed entirely: a plan inferred under a corrupted
+			// schema must never become a resident other requests hit.
 			c = c.WithCorruption(int64(c.Checksum()) | 1)
+			cache = nil
 		}
-		v := cdag.IndependenceBudgetCompiled(c, q, u, b)
+		ce, warm, perr := plan.Prepare(cache, c, q, u, b)
+		if perr != nil {
+			return Result{}, perr
+		}
+		v := ce.Verdict()
 		res.Independent = v.Independent
 		res.K = v.K
 		res.Witnesses = v.Reasons
+		if warm {
+			res.Plan = "warm"
+		} else {
+			res.Plan = "cold"
+		}
 	case MethodChainsExact:
 		k := infer.KPair(q, u)
 		if err := b.CheckK(k); err != nil {

@@ -11,6 +11,7 @@ import (
 	"xqindep/internal/dtd"
 	"xqindep/internal/eval"
 	"xqindep/internal/guard"
+	"xqindep/internal/plan"
 	"xqindep/internal/xmltree"
 	"xqindep/internal/xquery"
 )
@@ -74,8 +75,11 @@ func TestLadderDegradesThroughCDAG(t *testing.T) {
 	a := NewAnalyzer(stress)
 	q := xquery.MustParseQuery("//y//z")
 	u := xquery.MustParseUpdate("delete //x//z")
+	// A private empty plan cache forces the CDAG rung cold: a warm
+	// plan from another test would answer without re-running inference
+	// and never trip MaxNodes.
 	res, err := a.AnalyzeContext(context.Background(), q, u, MethodChainsExact,
-		Options{Limits: guard.Limits{MaxChains: 16, MaxNodes: 16}})
+		Options{Limits: guard.Limits{MaxChains: 16, MaxNodes: 16}, Plans: plan.NewCache(8)})
 	if err != nil {
 		t.Fatalf("AnalyzeContext: %v", err)
 	}

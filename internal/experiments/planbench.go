@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"xqindep/internal/core"
+	"xqindep/internal/plan"
+	"xqindep/internal/xmark"
+)
+
+// The plan-cache benchmark measures what the prepared-analysis
+// pipeline buys on repeated work: the full 36×31 XMark view×update
+// matrix analysed cold (a fresh plan cache per pass, so every request
+// fingerprints, infers and checks from scratch) against warm (one
+// shared cache, so every request after the first pass is a
+// fingerprint-keyed lookup plus the per-request admission recheck).
+// cmd/xqbench -plan-bench renders it and writes BENCH_plancache.json;
+// the same measurement is available as BenchmarkPreparedVsCold in the
+// repository root. Warm and cold verdicts are compared pair by pair —
+// a divergence fails the run, so the speedup number can never be
+// bought with a wrong answer.
+
+// PlanBench is the cold/warm comparison over the XMark matrix.
+type PlanBench struct {
+	Views      int `json:"views"`
+	Updates    int `json:"updates"`
+	Pairs      int `json:"pairs"`
+	ColdPasses int `json:"cold_passes"`
+	WarmPasses int `json:"warm_passes"`
+
+	ColdP50Ns int64 `json:"cold_p50_ns"`
+	ColdP90Ns int64 `json:"cold_p90_ns"`
+	WarmP50Ns int64 `json:"warm_p50_ns"`
+	WarmP90Ns int64 `json:"warm_p90_ns"`
+
+	// Speedup is cold p50 over warm p50 — how much cheaper a repeated
+	// analysis is once its plan is resident.
+	Speedup float64 `json:"speedup"`
+
+	// HitRatio is hits/(hits+misses) over the whole warm arm,
+	// including the populating first pass.
+	HitRatio float64 `json:"hit_ratio"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	Resident int64   `json:"resident"`
+
+	// IndependentPairs counts Independent verdicts in the matrix (the
+	// same number cold and warm; verified during the measurement).
+	IndependentPairs int `json:"independent_pairs"`
+}
+
+func percentile(ns []int64, p float64) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// MeasurePlanBench runs coldPasses matrix passes against fresh caches
+// and warmPasses timed passes against one populated cache, timing
+// every request through the full AnalyzeContext path.
+func MeasurePlanBench(coldPasses, warmPasses int) (PlanBench, error) {
+	if coldPasses < 1 || warmPasses < 1 {
+		return PlanBench{}, fmt.Errorf("passes must be positive (cold=%d warm=%d)", coldPasses, warmPasses)
+	}
+	d := xmark.Schema()
+	a := core.NewAnalyzer(d)
+	views, updates := xmark.Views(), xmark.Updates()
+	ctx := context.Background() //xqvet:ignore ctxflow benchmarks run standalone; there is no caller context
+
+	pb := PlanBench{
+		Views:      len(views),
+		Updates:    len(updates),
+		Pairs:      len(views) * len(updates),
+		ColdPasses: coldPasses,
+		WarmPasses: warmPasses,
+	}
+
+	// Cold arm: a fresh cache per pass means every request builds its
+	// plan. The first pass also records the ground-truth verdicts.
+	verdicts := make(map[string]bool, pb.Pairs)
+	coldNs := make([]int64, 0, pb.Pairs*coldPasses)
+	for pass := 0; pass < coldPasses; pass++ {
+		opts := core.Options{Plans: plan.NewCache(plan.DefaultCacheSize)}
+		for _, v := range views {
+			for _, u := range updates {
+				start := time.Now()
+				res, err := a.AnalyzeContext(ctx, v.AST, u.AST, core.MethodChains, opts)
+				if err != nil {
+					return PlanBench{}, fmt.Errorf("cold %s×%s: %w", v.Name, u.Name, err)
+				}
+				coldNs = append(coldNs, time.Since(start).Nanoseconds())
+				if res.Plan != "cold" {
+					return PlanBench{}, fmt.Errorf("cold %s×%s served %q", v.Name, u.Name, res.Plan)
+				}
+				key := v.Name + "×" + u.Name
+				if pass == 0 {
+					verdicts[key] = res.Independent
+					if res.Independent {
+						pb.IndependentPairs++
+					}
+				} else if verdicts[key] != res.Independent {
+					return PlanBench{}, fmt.Errorf("cold %s: verdict flapped across passes", key)
+				}
+			}
+		}
+	}
+
+	// Warm arm: one cache. The populating pass is untimed (it is the
+	// cold arm again); the timed passes must all hit, and every warm
+	// verdict must equal its cold ground truth.
+	cache := plan.NewCache(plan.DefaultCacheSize)
+	opts := core.Options{Plans: cache}
+	for _, v := range views {
+		for _, u := range updates {
+			if _, err := a.AnalyzeContext(ctx, v.AST, u.AST, core.MethodChains, opts); err != nil {
+				return PlanBench{}, fmt.Errorf("populate %s×%s: %w", v.Name, u.Name, err)
+			}
+		}
+	}
+	warmNs := make([]int64, 0, pb.Pairs*warmPasses)
+	for pass := 0; pass < warmPasses; pass++ {
+		for _, v := range views {
+			for _, u := range updates {
+				start := time.Now()
+				res, err := a.AnalyzeContext(ctx, v.AST, u.AST, core.MethodChains, opts)
+				if err != nil {
+					return PlanBench{}, fmt.Errorf("warm %s×%s: %w", v.Name, u.Name, err)
+				}
+				warmNs = append(warmNs, time.Since(start).Nanoseconds())
+				if res.Plan != "warm" {
+					return PlanBench{}, fmt.Errorf("warm %s×%s served %q", v.Name, u.Name, res.Plan)
+				}
+				if verdicts[v.Name+"×"+u.Name] != res.Independent {
+					return PlanBench{}, fmt.Errorf("warm %s×%s: verdict differs from cold", v.Name, u.Name)
+				}
+			}
+		}
+	}
+
+	st := cache.Stats()
+	pb.Hits, pb.Misses, pb.Resident = st.Hits, st.Misses, st.Resident
+	if total := st.Hits + st.Misses; total > 0 {
+		pb.HitRatio = float64(st.Hits) / float64(total)
+	}
+	pb.ColdP50Ns = percentile(coldNs, 0.50)
+	pb.ColdP90Ns = percentile(coldNs, 0.90)
+	pb.WarmP50Ns = percentile(warmNs, 0.50)
+	pb.WarmP90Ns = percentile(warmNs, 0.90)
+	if pb.WarmP50Ns > 0 {
+		pb.Speedup = float64(pb.ColdP50Ns) / float64(pb.WarmP50Ns)
+	}
+	return pb, nil
+}
+
+// RenderPlanBench renders the comparison as a small table.
+func RenderPlanBench(pb PlanBench) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Prepared-plan cache vs cold analysis (%d×%d XMark matrix, %d cold / %d warm passes)\n",
+		pb.Views, pb.Updates, pb.ColdPasses, pb.WarmPasses)
+	fmt.Fprintf(&b, "%-6s %12s %12s\n", "arm", "p50 ns", "p90 ns")
+	fmt.Fprintf(&b, "%-6s %12d %12d\n", "cold", pb.ColdP50Ns, pb.ColdP90Ns)
+	fmt.Fprintf(&b, "%-6s %12d %12d\n", "warm", pb.WarmP50Ns, pb.WarmP90Ns)
+	fmt.Fprintf(&b, "speedup %.1fx   hit ratio %.1f%% (%d hits / %d misses, %d resident)   independent pairs %d/%d\n",
+		pb.Speedup, 100*pb.HitRatio, pb.Hits, pb.Misses, pb.Resident, pb.IndependentPairs, pb.Pairs)
+	return b.String()
+}

@@ -53,14 +53,17 @@ const (
 	// overload, timeout and drain tests. Never drawn by
 	// RandomSchedule.
 	KindStall
-	// KindCorruptArtifact fires only at "core.artifact": core swaps in
-	// a deterministically corrupted copy of the compiled schema for the
-	// remainder of the request, simulating resident-artifact damage.
-	// The sentinel audit layer must catch any unsound verdict that
-	// results. Never drawn by RandomSchedule: fixed-seed schedules from
-	// earlier chaos suites must keep reproducing bit-for-bit, so
-	// corruption schedules are built explicitly (see
-	// RandomAuditSchedule).
+	// KindCorruptArtifact fires only at the artifact-handoff points.
+	// At "core.artifact" core swaps in a deterministically corrupted
+	// copy of the compiled schema for the remainder of the request
+	// (bypassing the plan cache so the damage is never amortised); at
+	// "core.plan/artifact" the plan layer serves a corrupted clone of
+	// the prepared plan while the cache resident stays intact. Both
+	// simulate resident-artifact damage; the sentinel audit layer must
+	// catch any unsound verdict that results. Never drawn by
+	// RandomSchedule: fixed-seed schedules from earlier chaos suites
+	// must keep reproducing bit-for-bit, so corruption schedules are
+	// built explicitly (see RandomAuditSchedule, RandomPlanSchedule).
 	KindCorruptArtifact
 	// KindFlipVerdict fires only at "core.verdict": core flips the rung
 	// verdict it is about to return, simulating an unsound engine edge
@@ -105,6 +108,20 @@ var Points = []string{
 	"paths.check",    // path-overlap baseline start
 	"core.artifact",  // compiled artifact selected for a request
 	"core.verdict",   // rung verdict about to be returned
+}
+
+// PlanPoints lists the fault points of the prepared-analysis pipeline
+// (internal/plan), one per stage. They live in their own list —
+// Points is frozen: RandomSchedule indexes it, so appending would
+// silently change which faults a fixed seed draws and break the
+// reproducibility of every recorded chaos run. Plan-aware harnesses
+// arm them via RandomPlanSchedule or explicit Faults.
+var PlanPoints = []string{
+	"core.plan/fingerprint", // normalize + content fingerprints (cache key)
+	"core.plan/lookup",      // plan-cache consultation
+	"core.plan/kfactors",    // Table 3 k-factors + admission (cold stage)
+	"core.plan/infer",       // CDAG chain inference (cold stage)
+	"core.plan/artifact",    // prepared plan handed to the caller
 }
 
 // ErrInjected is the sentinel wrapped by every KindError injection.
@@ -186,6 +203,42 @@ func RandomAuditSchedule(rng *rand.Rand, n int) *Schedule {
 				faults[i] = Fault{Point: "core.artifact", Kind: KindCorruptArtifact, After: 1 + rng.Intn(3)}
 			} else {
 				faults[i] = Fault{Point: "core.verdict", Kind: KindFlipVerdict, After: 1 + rng.Intn(3)}
+			}
+			continue
+		}
+		faults[i] = Fault{
+			Point: Points[rng.Intn(len(Points))],
+			Kind:  Kind(rng.Intn(3)),
+			After: 1 + rng.Intn(3),
+		}
+	}
+	return NewSchedule(faults...)
+}
+
+// RandomPlanSchedule draws n faults for the prepared-plan chaos
+// suite: each is either a plan-stage fault — one of PlanPoints with a
+// classic kind, or corrupt-artifact at "core.plan/artifact" — or a
+// classic kind at a random legacy point, all from rng so a fixed seed
+// reproduces the schedule. At least one plan-stage fault is always
+// armed (a plan chaos run that never touches the pipeline proves
+// nothing). Like RandomAuditSchedule it lives apart from
+// RandomSchedule so legacy fixed-seed suites keep reproducing
+// bit-for-bit.
+func RandomPlanSchedule(rng *rand.Rand, n int) *Schedule {
+	if n < 1 {
+		n = 1
+	}
+	faults := make([]Fault, n)
+	for i := range faults {
+		if i == 0 || rng.Intn(2) == 0 {
+			if rng.Intn(4) == 0 {
+				faults[i] = Fault{Point: "core.plan/artifact", Kind: KindCorruptArtifact, After: 1 + rng.Intn(3)}
+			} else {
+				faults[i] = Fault{
+					Point: PlanPoints[rng.Intn(len(PlanPoints))],
+					Kind:  Kind(rng.Intn(3)),
+					After: 1 + rng.Intn(3),
+				}
 			}
 			continue
 		}

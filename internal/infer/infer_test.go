@@ -295,6 +295,40 @@ func TestKValuesFromPaper(t *testing.T) {
 	}
 }
 
+// TestKPairTable pins the exported pair multiplicity every engine
+// derives k through (Table 3): kq + ku, clamped to at least 1, with
+// either side optional for single-sided analyses.
+func TestKPairTable(t *testing.T) {
+	cases := []struct {
+		name string
+		q    string // "" = nil side
+		u    string // "" = nil side
+		want int
+	}{
+		{"both flat", "/r/a/b", "delete /r/a", 2},
+		{"tag frequency sums", "/r/a/b/f/a", "rename /a/b as b", 4},
+		{"recursive both sides", "/descendant::b/descendant::c", "delete /descendant::c", 3},
+		{"construction example", "/a/b", "for $x in /a/b return insert <b><b><c/></b></b> into $x", 4},
+		{"empty pair clamps", "()", "()", 1},
+		{"query only", "//a//c", "", 3},
+		{"update only", "", "delete /descendant::c", 1},
+		{"nil pair clamps", "", "", 1},
+	}
+	for _, c := range cases {
+		var q xquery.Query
+		var u xquery.Update
+		if c.q != "" {
+			q = xquery.MustParseQuery(c.q)
+		}
+		if c.u != "" {
+			u = xquery.MustParseUpdate(c.u)
+		}
+		if got := KPair(q, u); got != c.want {
+			t.Errorf("%s: KPair(%q, %q) = %d, want %d", c.name, c.q, c.u, got, c.want)
+		}
+	}
+}
+
 func TestIndependencePaperExamples(t *testing.T) {
 	cases := []struct {
 		name string

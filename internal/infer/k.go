@@ -250,9 +250,18 @@ func KUpdate(u xquery.Update) int {
 
 // KPair computes the joint multiplicity k = k_q + k_u used by the
 // finite analysis (Theorem 5.1); it is at least 1 so the chain
-// universe is never empty.
+// universe is never empty. Either side may be nil when only one is
+// analysed (single-sided engines pass nil for the absent side), so
+// every caller — core, the CDAG engines, diagnostics — derives k
+// through this one function and Table 3 is implemented exactly once.
 func KPair(q xquery.Query, u xquery.Update) int {
-	k := KQuery(q) + KUpdate(u)
+	k := 0
+	if q != nil {
+		k += KQuery(q)
+	}
+	if u != nil {
+		k += KUpdate(u)
+	}
 	if k < 1 {
 		k = 1
 	}

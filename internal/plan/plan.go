@@ -1,0 +1,254 @@
+// Package plan implements the prepared-analysis pipeline: the staged
+// decomposition of one chain-method analysis into reusable, immutable
+// artifacts. A CompiledExpr captures everything the CDAG rung of core
+// derives for a (schema, query-update pair) — the normalized ASTs,
+// the Table 3 k-factors, and the fully evaluated chain verdict — keyed
+// by (schema fingerprint, expression-pair fingerprint) so repeated
+// requests over the same logical pair (whitespace variants, renamed
+// binders, sugared axes) resolve to one cached plan.
+//
+// The stages mirror the analysis pipeline of the paper: fingerprint
+// (parse/normalize, Section 2 sugar), k-factors (Table 3, Section 5),
+// chain inference (Sections 3–6). Each stage is budget-checked through
+// guard and fault-injectable under a core.plan/* point, so the
+// degradation ladder and the sentinel audit layer compose with the
+// cache unchanged: a cached verdict is re-admitted against every
+// request's own k limit, re-verified against its content checksum on
+// every hit, and purged wholesale when the schema it was inferred
+// under is quarantined.
+package plan
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"xqindep/internal/cdag"
+	"xqindep/internal/dtd"
+	"xqindep/internal/guard"
+	"xqindep/internal/infer"
+	"xqindep/internal/xquery"
+)
+
+// CompiledExpr is the immutable prepared-analysis artifact for one
+// (schema, query-update pair): the normalized ASTs, the syntactic
+// multiplicity factors of Table 3, and the CDAG verdict inferred under
+// the compiled schema. Construct it only through Prepare (or the
+// cache's builder); after construction nothing may write to it — the
+// checksum seals the content and Verify re-derives it on every cache
+// hit, so any post-construction mutation is caught before the plan is
+// served again.
+type CompiledExpr struct {
+	schemaFP string
+	queryFP  string
+	updateFP string
+	pairFP   string
+	// query and update are the normalized ASTs the verdict was
+	// inferred from (not the caller's originals).
+	query    xquery.Query
+	update   xquery.Update
+	kq       int
+	ku       int
+	k        int
+	verdict  cdag.Verdict
+	checksum uint64
+}
+
+// SchemaFingerprint returns the fingerprint of the schema the plan
+// was inferred under.
+func (ce *CompiledExpr) SchemaFingerprint() string { return ce.schemaFP }
+
+// QueryFingerprint returns the content fingerprint of the normalized
+// query.
+func (ce *CompiledExpr) QueryFingerprint() string { return ce.queryFP }
+
+// UpdateFingerprint returns the content fingerprint of the normalized
+// update.
+func (ce *CompiledExpr) UpdateFingerprint() string { return ce.updateFP }
+
+// PairFingerprint returns the joint fingerprint the cache keys on.
+func (ce *CompiledExpr) PairFingerprint() string { return ce.pairFP }
+
+// Query returns the normalized query the plan was inferred from.
+func (ce *CompiledExpr) Query() xquery.Query { return ce.query }
+
+// Update returns the normalized update the plan was inferred from.
+func (ce *CompiledExpr) Update() xquery.Update { return ce.update }
+
+// KQuery returns k_q of Table 3.
+func (ce *CompiledExpr) KQuery() int { return ce.kq }
+
+// KUpdate returns k_u of Table 3.
+func (ce *CompiledExpr) KUpdate() int { return ce.ku }
+
+// K returns the joint multiplicity k = max(1, k_q + k_u) the chain
+// universe was bounded by.
+func (ce *CompiledExpr) K() int { return ce.k }
+
+// Verdict returns the inferred CDAG verdict. The embedded chain sets
+// are part of the sealed artifact: read them, never mutate them.
+func (ce *CompiledExpr) Verdict() cdag.Verdict { return ce.verdict }
+
+// Checksum returns the content checksum sealed at construction.
+func (ce *CompiledExpr) Checksum() uint64 { return ce.checksum }
+
+func (ce *CompiledExpr) computeChecksum() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wStr := func(s string) {
+		wInt(len(s))
+		h.Write([]byte(s))
+	}
+	wStr(ce.schemaFP)
+	wStr(ce.queryFP)
+	wStr(ce.updateFP)
+	wStr(ce.pairFP)
+	wInt(ce.kq)
+	wInt(ce.ku)
+	wInt(ce.k)
+	binary.LittleEndian.PutUint64(buf[:], ce.verdict.Digest())
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// Verify checks the plan's structural invariants and re-derives its
+// content checksum, walking every chain-DAG row of the embedded
+// verdict. The cache runs it on every hit: a mismatch means something
+// wrote to the artifact after construction, and the resident is
+// dropped and rebuilt rather than served.
+func (ce *CompiledExpr) Verify() error {
+	if ce == nil {
+		return errors.New("plan: nil CompiledExpr")
+	}
+	if ce.schemaFP == "" || ce.queryFP == "" || ce.updateFP == "" || ce.pairFP == "" {
+		return errors.New("plan: missing fingerprint")
+	}
+	if ce.query == nil || ce.update == nil {
+		return errors.New("plan: missing normalized expression")
+	}
+	want := ce.kq + ce.ku
+	if want < 1 {
+		want = 1
+	}
+	if ce.k != want {
+		return fmt.Errorf("plan: k=%d inconsistent with kq=%d ku=%d", ce.k, ce.kq, ce.ku)
+	}
+	if ce.verdict.K != ce.k {
+		return fmt.Errorf("plan: verdict k=%d differs from plan k=%d", ce.verdict.K, ce.k)
+	}
+	if got := ce.computeChecksum(); got != ce.checksum {
+		return fmt.Errorf("plan: checksum mismatch: computed %016x, sealed %016x", got, ce.checksum)
+	}
+	return nil
+}
+
+// CorruptClone returns a deep-enough copy of the plan whose verdict is
+// corrupted per cdag.Verdict.CorruptedCopy — decision flipped, one
+// cloned chain row damaged — with the checksum left stale so Verify
+// fails on the clone. The original (a cache resident shared across
+// requests) is untouched: chaos injection must corrupt a private copy,
+// never the artifact other requests will be served. Test and chaos
+// support only.
+func (ce *CompiledExpr) CorruptClone(seed int64) *CompiledExpr {
+	cc := *ce
+	cc.verdict = ce.verdict.CorruptedCopy(seed)
+	return &cc
+}
+
+// Prepare resolves the prepared plan for the pair under the compiled
+// schema, running the staged pipeline:
+//
+//	core.plan/fingerprint  normalize both ASTs, derive content
+//	                       fingerprints (the cache key)
+//	core.plan/lookup       consult cache (verify-on-hit); on miss the
+//	                       builder runs the two cold stages:
+//	core.plan/kfactors       k_q, k_u, k per Table 3, admission check
+//	core.plan/infer          CDAG chain inference, verdict sealed
+//	core.plan/artifact     hand the plan to the caller (chaos
+//	                       corrupt-artifact injection point)
+//
+// Every stage charges b; stage overruns abort via guard and surface at
+// the caller's guard.Recover boundary exactly as the monolithic path
+// did, so the degradation ladder applies unchanged. The returned bool
+// reports warm provenance: true when the plan came from cache without
+// running the cold stages. A cached plan's k is re-checked against
+// b's own limits — admission is per-request even when inference is
+// amortised. cache may be nil to force an uncached cold build (used
+// by core when a chaos fault corrupts the schema artifact itself:
+// plans inferred under a corrupted schema must never enter the cache).
+func Prepare(cache *Cache, c *dtd.Compiled, q xquery.Query, u xquery.Update, b *guard.Budget) (*CompiledExpr, bool, error) {
+	b.Point("core.plan/fingerprint")
+	nq := xquery.Normalize(q)
+	nu := xquery.NormalizeUpdate(u)
+	qfp := xquery.FingerprintQuery(nq)
+	ufp := xquery.FingerprintUpdate(nu)
+	pairFP := xquery.FingerprintPair(nq, nu)
+	schemaFP := c.Fingerprint()
+
+	b.Point("core.plan/lookup")
+	ce, warm := cache.Get(schemaFP, pairFP, func() *CompiledExpr {
+		return build(c, nq, nu, schemaFP, qfp, ufp, pairFP, b)
+	})
+
+	// Admission is per-request: a plan cached under one request's
+	// limits may exceed this request's MaxK, and a warm hit must
+	// degrade exactly as a cold build would have.
+	if err := b.CheckK(ce.k); err != nil {
+		return nil, warm, err
+	}
+
+	if ferr := guard.FirePoint(b.Context(), "core.plan/artifact"); ferr != nil {
+		if !errors.Is(ferr, guard.ErrArtifactCorrupt) {
+			return nil, warm, ferr
+		}
+		// Chaos corrupt-artifact injection: serve a privately corrupted
+		// clone. The cache resident stays intact — corruption must not
+		// leak across requests — and the clone fails Verify, which is
+		// exactly what the containment layers are tested against.
+		ce = ce.CorruptClone(int64(ce.checksum) | 1)
+	}
+	return ce, warm, nil
+}
+
+// build runs the cold stages. It charges b throughout and aborts via
+// guard on overrun; the cache never sees a partially built plan.
+func build(c *dtd.Compiled, nq xquery.Query, nu xquery.Update, schemaFP, qfp, ufp, pairFP string, b *guard.Budget) *CompiledExpr {
+	b.Point("core.plan/kfactors")
+	kq := infer.KQuery(nq)
+	ku := infer.KUpdate(nu)
+	k := infer.KPair(nq, nu)
+	if err := b.CheckK(k); err != nil {
+		guard.Abort(err)
+	}
+
+	b.Point("core.plan/infer")
+	// cdag.build is the historical chain-inference point; chaos
+	// schedules arming it must still reach it on every cold build.
+	b.Point("cdag.build")
+	e := cdag.EngineForCompiled(c, nq, nu).WithBudget(b)
+	v := e.CheckIndependence(nq, nu)
+	// Detach the request budget before the plan outlives the request:
+	// a cached artifact must not retain a reference to a finished
+	// request's context or counters.
+	e.WithBudget(nil)
+
+	ce := &CompiledExpr{
+		schemaFP: schemaFP,
+		queryFP:  qfp,
+		updateFP: ufp,
+		pairFP:   pairFP,
+		query:    nq,
+		update:   nu,
+		kq:       kq,
+		ku:       ku,
+		k:        k,
+		verdict:  v,
+	}
+	ce.checksum = ce.computeChecksum()
+	return ce
+}

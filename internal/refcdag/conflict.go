@@ -178,16 +178,7 @@ func IndependenceBudget(d *dtd.DTD, q xquery.Query, u xquery.Update, b *guard.Bu
 // extension appropriate for the pair; q or u may be nil when only one
 // side is analysed.
 func EngineFor(d *dtd.DTD, q xquery.Query, u xquery.Update) *Engine {
-	k := 0
-	if q != nil {
-		k += infer.KQuery(q)
-	}
-	if u != nil {
-		k += infer.KUpdate(u)
-	}
-	if k < 1 {
-		k = 1
-	}
+	k := infer.KPair(q, u)
 	extra := 0
 	for tag := range constructedTags(q, u) {
 		if !d.HasType(tag) {

@@ -36,6 +36,7 @@ import (
 	"xqindep/internal/dtd"
 	"xqindep/internal/eval"
 	"xqindep/internal/guard"
+	"xqindep/internal/plan"
 	"xqindep/internal/quarantine"
 	"xqindep/internal/refcdag"
 	"xqindep/internal/xmltree"
@@ -64,6 +65,13 @@ type Config struct {
 	// Quarantine is the registry incidents trip; nil selects the
 	// process-wide quarantine.Shared().
 	Quarantine *quarantine.Registry
+	// Plans is the prepared-plan cache the serving pool consults (see
+	// internal/plan); nil selects the process-wide plan.Shared(). When
+	// a disagreement quarantines a fingerprint, every plan inferred
+	// under that schema is purged from it alongside the CompileCache
+	// entry: a cached verdict must not outlive the suspicion about the
+	// schema it was derived from.
+	Plans *plan.Cache
 	// OracleDocs is the number of schema-valid example documents
 	// generated per fingerprint for oracle replay (default 4; negative
 	// disables the oracle).
@@ -430,8 +438,12 @@ func (a *Auditor) audit(o Observation) {
 	if purge := a.reg.Quarantine(fp); purge {
 		// First engagement: the likeliest benign cause is a corrupted
 		// compiled artifact — purge it so the next request recompiles
-		// from source before the quarantine becomes sticky.
+		// from source before the quarantine becomes sticky. Prepared
+		// plans were inferred under the suspect artifact, so they go
+		// with it: after recovery the first request per pair re-infers
+		// cold from the fresh compilation.
 		dtd.PurgeCompiled(fp)
+		a.plans().PurgeSchema(fp)
 	}
 	a.record("audit-disagreement", o, shadow, shadowErr, witness)
 }
@@ -446,9 +458,12 @@ func (a *Auditor) retrial(o Observation) {
 	bypass := quarantine.NewRegistry(quarantine.Config{})
 	res, err := core.NewAnalyzer(o.D).AnalyzeContext(
 		// Retrials run off the request path on the auditor's base
-		// context, so Shutdown can hard-cancel a wedged one.
+		// context, so Shutdown can hard-cancel a wedged one. The plan
+		// cache is bypassed with a throwaway: a retrial must actually
+		// re-run the suspect engines, not be answered by a verdict
+		// cached before the quarantine tripped.
 		a.base, o.Query, o.Update, core.MethodChains,
-		core.Options{Limits: a.cfg.Budget, Quarantine: bypass})
+		core.Options{Limits: a.cfg.Budget, Quarantine: bypass, Plans: plan.NewCache(1)})
 	if err != nil || res.Degraded {
 		a.reg.RecordProbe(fp, quarantine.ProbeInconclusive)
 		return
@@ -469,6 +484,14 @@ func (a *Auditor) retrial(o Observation) {
 		return
 	}
 	a.markProbe(fp, true)
+}
+
+// plans resolves the prepared-plan cache containment purges.
+func (a *Auditor) plans() *plan.Cache {
+	if a.cfg.Plans != nil {
+		return a.cfg.Plans
+	}
+	return plan.Shared()
 }
 
 func (a *Auditor) markProbe(fp string, clean bool) {

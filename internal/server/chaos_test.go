@@ -17,6 +17,7 @@ import (
 	"xqindep/internal/eval"
 	"xqindep/internal/faultinject"
 	"xqindep/internal/guard"
+	"xqindep/internal/plan"
 	"xqindep/internal/xmltree"
 	"xqindep/internal/xquery"
 )
@@ -289,7 +290,9 @@ func chaosRun(t *testing.T, rng *rand.Rand, corpus []chaosPair, run int) (uint64
 // immediately), and a clean probe after the backoff must close it.
 func TestChaosBreakerStorm(t *testing.T) {
 	faultinject.Enable()
-	s := New(Config{Workers: 2, Breaker: BreakerConfig{Threshold: 2, Backoff: 50 * time.Millisecond}})
+	// A private plan cache: the storm's faults fire inside cold plan
+	// builds, so a warm hit from another test would defuse them.
+	s := New(Config{Workers: 2, Breaker: BreakerConfig{Threshold: 2, Backoff: 50 * time.Millisecond}, Plans: plan.NewCache(64)})
 	defer s.Close()
 	now := time.Unix(0, 0)
 	s.breakers.now = func() time.Time { return now }

@@ -15,6 +15,7 @@ import (
 	"xqindep/internal/core"
 	"xqindep/internal/dtd"
 	"xqindep/internal/guard"
+	"xqindep/internal/plan"
 	"xqindep/internal/quarantine"
 	"xqindep/internal/sentinel"
 	"xqindep/internal/xquery"
@@ -54,7 +55,11 @@ type AnalyzeResponse struct {
 	CircuitOpen   bool     `json:"circuit_open,omitempty"`
 	Quarantined   bool     `json:"quarantined,omitempty"`
 	Schema        string   `json:"schema_fingerprint,omitempty"`
-	Error         string   `json:"error,omitempty"`
+	// Plan reports prepared-plan provenance for chain verdicts:
+	// "warm" (served from the plan cache) or "cold" (this request ran
+	// the inference stages). Empty for other methods.
+	Plan  string `json:"plan,omitempty"`
+	Error string `json:"error,omitempty"`
 	// RetryAfterSec, when positive, suggests how long to back off
 	// before retrying (mirrored into the HTTP Retry-After header on
 	// 429/503 and breaker-served responses).
@@ -186,6 +191,9 @@ func setRetryAfter(w http.ResponseWriter, seconds int) {
 type StatzPayload struct {
 	Server       Stats          `json:"server"`
 	CompileCache dtd.CacheStats `json:"compile_cache"`
+	// PlanCache reports the prepared-plan cache the pool consults
+	// (cfg.Plans, or the process-wide plan.Shared()).
+	PlanCache plan.CacheStats `json:"plan_cache"`
 	// Audit and Quarantine report the runtime verdict-audit layer;
 	// zero-valued when no auditor is wired.
 	Audit      sentinel.Stats   `json:"audit"`
@@ -203,10 +211,19 @@ func (h *Handler) quarantineRegistry() *quarantine.Registry {
 	return quarantine.Shared()
 }
 
+// planCache resolves the prepared-plan cache the pool consults.
+func (h *Handler) planCache() *plan.Cache {
+	if h.srv.cfg.Plans != nil {
+		return h.srv.cfg.Plans
+	}
+	return plan.Shared()
+}
+
 func (h *Handler) handleStatz(w http.ResponseWriter, r *http.Request) {
 	p := StatzPayload{
 		Server:       h.srv.Stats(),
 		CompileCache: dtd.CompileCacheStats(),
+		PlanCache:    h.planCache().Stats(),
 		Quarantine:   h.quarantineRegistry().Stats(),
 	}
 	if a := h.srv.cfg.Auditor; a != nil {
@@ -352,6 +369,7 @@ func (h *Handler) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeRespo
 		CircuitOpen: errors.Is(res.Err, ErrCircuitOpen),
 		Quarantined: quarantine.IsQuarantined(res.Err),
 		Schema:      a.D.Fingerprint(),
+		Plan:        res.Plan,
 	}
 	if resp.CircuitOpen {
 		// Breaker-served conservative verdict: tell the client when the

@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"xqindep/internal/plan"
 )
 
 func analyzeBody(t *testing.T) []byte {
@@ -100,6 +102,7 @@ func TestRetryAfterOnCircuitOpen(t *testing.T) {
 	s := New(Config{
 		Workers: 1,
 		Breaker: BreakerConfig{Threshold: 1, Backoff: 10 * time.Second},
+		Plans:   plan.NewCache(64), // the blowup fires inside a cold build
 	})
 	defer s.Close()
 	frozen := time.Unix(9000, 0)

@@ -57,6 +57,7 @@ import (
 	"xqindep/internal/core"
 	"xqindep/internal/faultinject"
 	"xqindep/internal/guard"
+	"xqindep/internal/plan"
 	"xqindep/internal/quarantine"
 	"xqindep/internal/sentinel"
 	"xqindep/internal/xquery"
@@ -109,6 +110,13 @@ type Config struct {
 	// analysis; nil selects the process-wide quarantine.Shared(). Wire
 	// the same registry here and into the Auditor.
 	Quarantine *quarantine.Registry
+	// Plans is the prepared-plan cache threaded into every analysis
+	// (see internal/plan): the CDAG chain rung resolves repeated
+	// logical pairs to one cached artifact, so steady-state traffic
+	// serves warm plans. Nil selects the process-wide plan.Shared().
+	// Wire the same cache here and into the sentinel so quarantine
+	// containment purges it.
+	Plans *plan.Cache
 	// MemoryWatermark, when positive, sheds admissions with
 	// ErrOverloaded while the process heap (per MemoryUsage) exceeds
 	// this many bytes — a soft limit in the spirit of
@@ -514,6 +522,7 @@ func (s *Server) analyze(ctx context.Context, t Task) (res core.Result, err erro
 		Limits:     clamp(t.Limits, s.share),
 		NoFallback: t.NoFallback || s.cfg.NoFallback,
 		Quarantine: s.cfg.Quarantine,
+		Plans:      s.cfg.Plans,
 	})
 }
 

@@ -12,6 +12,7 @@ import (
 	"xqindep/internal/dtd"
 	"xqindep/internal/faultinject"
 	"xqindep/internal/guard"
+	"xqindep/internal/plan"
 	"xqindep/internal/xquery"
 )
 
@@ -181,7 +182,9 @@ func TestGracefulDrainFinishesInFlight(t *testing.T) {
 
 func TestPanicIsolation(t *testing.T) {
 	faultinject.Enable()
-	s := New(Config{Workers: 1})
+	// A private plan cache: the injected fault fires during a cold plan
+	// build, so a warm hit from another test would mask it.
+	s := New(Config{Workers: 1, Plans: plan.NewCache(64)})
 	defer s.Close()
 
 	sched := faultinject.NewSchedule(faultinject.Fault{Point: "cdag.build", Kind: faultinject.KindPanic})
@@ -232,6 +235,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	s := New(Config{
 		Workers: 1,
 		Breaker: BreakerConfig{Threshold: 3, Backoff: 100 * time.Millisecond},
+		Plans:   plan.NewCache(64), // blowups fire inside cold builds
 	})
 	defer s.Close()
 	// Deterministic clock and no jitter, so the backoff arithmetic
@@ -309,7 +313,7 @@ func TestBreakerLifecycle(t *testing.T) {
 }
 
 func TestBreakerIsPerSchema(t *testing.T) {
-	s := New(Config{Workers: 1, Breaker: BreakerConfig{Threshold: 1, Backoff: time.Hour}})
+	s := New(Config{Workers: 1, Breaker: BreakerConfig{Threshold: 1, Backoff: time.Hour}, Plans: plan.NewCache(64)})
 	defer s.Close()
 
 	bib := mustTask(t, bibSchema, "//title", "delete //price")

@@ -1,0 +1,40 @@
+// Firing and non-firing fixtures for the frozenartifact extension to
+// prepared plans: a cached CompiledExpr and the verdict rows its
+// accessors expose are shared across every request that hits the plan
+// cache, so nothing outside internal/plan may write through them.
+package cdag
+
+import (
+	"example.com/fix/internal/bitset"
+	"example.com/fix/internal/plan"
+)
+
+func defacePlan(ce *plan.CompiledExpr) {
+	ce.PairFP = "forged" // want "write to field PairFP of a frozen artifact"
+}
+
+func pokeVerdictRow(ce *plan.CompiledExpr) {
+	ce.Ret().Add(3) // want "mutates a bitset row of a frozen artifact"
+}
+
+// A local aliasing an accessor view is still the plan's memory.
+func scrubWitness(ce *plan.CompiledExpr) {
+	ws := ce.Witnesses()
+	ws[0] = "scrubbed" // want "write through an index of a frozen artifact view"
+}
+
+func growWitnesses(ce *plan.CompiledExpr) []string {
+	return append(ce.Witnesses(), "extra") // want "append to a slice view of a frozen artifact"
+}
+
+// Reading is what the accessors are for.
+func readPlan(ce *plan.CompiledExpr) bool {
+	return ce.K() > 0 && ce.Ret().Has(3)
+}
+
+// Clone returns fresh memory: the taint breaks and edits are legal.
+func clonePlanRow(ce *plan.CompiledExpr) bitset.Set {
+	fresh := ce.Ret().Clone()
+	fresh.Add(1)
+	return fresh
+}

@@ -1,0 +1,33 @@
+// Package plan is the fixture's stand-in for the real prepared-plan
+// package: frozenartifact treats CompiledExpr as immutable outside
+// this home package, so only the shape matters — an exported field
+// and accessors handing out shared views, like the real artifact.
+package plan
+
+import "example.com/fix/internal/bitset"
+
+// CompiledExpr mirrors the real cached plan: fingerprints, the
+// k-factor, and verdict rows exposed as shared views.
+type CompiledExpr struct {
+	PairFP    string
+	k         int
+	ret       bitset.Set
+	witnesses []string
+}
+
+// Ret returns the shared verdict endpoint row.
+func (ce *CompiledExpr) Ret() bitset.Set { return ce.ret }
+
+// Witnesses returns the shared conflict-evidence slice.
+func (ce *CompiledExpr) Witnesses() []string { return ce.witnesses }
+
+// K returns the multiplicity the plan was built at.
+func (ce *CompiledExpr) K() int { return ce.k }
+
+// New is the constructor; building the rows here, inside the defining
+// package, is the one legal mutation site.
+func New(k int) *CompiledExpr {
+	ce := &CompiledExpr{k: k, ret: make(bitset.Set, 4)}
+	ce.ret.Add(1)
+	return ce
+}

@@ -112,7 +112,8 @@ func DefaultConfig() Config {
 			"internal/bitset", "internal/cdag", "internal/chain",
 			"internal/core", "internal/dtd", "internal/eval",
 			"internal/faultinject", "internal/infer", "internal/pathanalysis",
-			"internal/preserve", "internal/quarantine", "internal/refcdag",
+			"internal/plan", "internal/preserve", "internal/quarantine",
+			"internal/refcdag",
 			"internal/sentinel", "internal/server", "internal/statefile",
 			"internal/typeanalysis", "internal/xmark",
 			"internal/xmltree", "internal/xquery",
@@ -145,12 +146,15 @@ func DefaultConfig() Config {
 		LockPackages: set(
 			"internal/server", "internal/quarantine",
 			"internal/sentinel", "internal/statefile", "internal/dtd",
+			"internal/plan",
 		),
 		FrozenTypes: set(
 			"internal/dtd.Compiled", "internal/chain.Interned",
+			"internal/plan.CompiledExpr",
 		),
 		FrozenHomePackages: set(
 			"internal/dtd", "internal/chain", "internal/bitset",
+			"internal/plan",
 		),
 		ClockPackages: set(
 			"internal/server", "internal/faultinject",

@@ -605,6 +605,20 @@ func (p *parser) parsePredicateValue() Query {
 		}
 		p.pos = save // "not" was a tag name
 		return p.parsePath()
+	case p.peekWord() == "for" || p.peekWord() == "let" || p.peekWord() == "if":
+		// The canonical printer emits desugared predicates (nested
+		// for-expressions) back into condition position, so the
+		// predicate grammar accepts the three expression keywords at
+		// value level — but only with their introducer ahead ($ for
+		// for/let, ( for if); otherwise the word is an element tag,
+		// exactly as before.
+		w := p.peekWord()
+		rest := strings.TrimLeft(p.in[p.pos+len(w):], " \t\n\r")
+		if (w == "if" && strings.HasPrefix(rest, "(")) ||
+			(w != "if" && strings.HasPrefix(rest, "$")) {
+			return p.parseSingle()
+		}
+		return p.parsePath()
 	case c == '(':
 		p.pos++
 		inner := p.parsePredicateExpr()

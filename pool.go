@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"xqindep/internal/core"
+	"xqindep/internal/plan"
 	"xqindep/internal/quarantine"
 	"xqindep/internal/sentinel"
 	"xqindep/internal/server"
@@ -94,6 +95,14 @@ type PoolOptions struct {
 	// MemoryWatermark, when positive, sheds admissions while the process
 	// heap exceeds this many bytes.
 	MemoryWatermark uint64
+	// PlanCacheSize bounds the pool's prepared-plan cache: compiled
+	// analysis plans (fingerprinted pair + verdict) are reused across
+	// requests on the same schema, keyed by (schema fingerprint, pair
+	// fingerprint). 0 selects the default (4096 plans); negative
+	// disables reuse with a single-slot cache. The pool owns a private
+	// cache so that an audit-lane quarantine purges exactly the plans
+	// this pool built for the offending schema.
+	PlanCacheSize int
 }
 
 // PoolStats snapshots the pool counters.
@@ -108,10 +117,11 @@ type PoolStats = server.Stats
 // invariant of AnalyzeContext ("independent" is a proof) carries over
 // to the serving layer unchanged.
 type Pool struct {
-	srv *server.Server
-	h   *server.Handler
-	aud *sentinel.Auditor
-	reg *quarantine.Registry
+	srv   *server.Server
+	h     *server.Handler
+	aud   *sentinel.Auditor
+	reg   *quarantine.Registry
+	plans *plan.Cache
 
 	state    *server.DurableState
 	stateErr error
@@ -121,6 +131,14 @@ type Pool struct {
 // (or Shutdown) it to release them.
 func NewPool(o PoolOptions) *Pool {
 	p := &Pool{}
+	switch {
+	case o.PlanCacheSize > 0:
+		p.plans = plan.NewCache(o.PlanCacheSize)
+	case o.PlanCacheSize < 0:
+		p.plans = plan.NewCache(1)
+	default:
+		p.plans = plan.NewCache(plan.DefaultCacheSize)
+	}
 	cfg := server.Config{
 		Workers:         o.Workers,
 		QueueDepth:      o.QueueDepth,
@@ -129,6 +147,7 @@ func NewPool(o PoolOptions) *Pool {
 		NoFallback:      o.NoFallback,
 		DrainTimeout:    o.DrainTimeout,
 		MemoryWatermark: o.MemoryWatermark,
+		Plans:           p.plans,
 		Breaker: server.BreakerConfig{
 			Threshold:  o.BreakerThreshold,
 			Backoff:    o.BreakerBackoff,
@@ -166,6 +185,10 @@ func NewPool(o PoolOptions) *Pool {
 			Budget:     Limits{MaxNodes: o.AuditBudget, MaxChains: o.AuditBudget},
 			Quarantine: p.reg,
 			Spool:      spool,
+			// The audit lane purges this pool's plan cache when it
+			// quarantines a schema: cached verdicts for a fingerprint
+			// under suspicion must not outlive the incident.
+			Plans: p.plans,
 		})
 		cfg.Auditor = p.aud
 	}
@@ -206,6 +229,15 @@ func (p *Pool) Stats() PoolStats { return p.srv.Stats() }
 func (p *Pool) BreakerState(s *Schema) string {
 	return p.srv.BreakerState(s.Fingerprint())
 }
+
+// PlanCacheStats snapshots a prepared-plan cache: hit/miss/eviction
+// counters, quarantine purges, verify failures, and the resident plan
+// count per schema fingerprint. Pools expose it here and on /statz
+// under "plan_cache".
+type PlanCacheStats = plan.CacheStats
+
+// PlanStats snapshots the pool's prepared-plan cache.
+func (p *Pool) PlanStats() PlanCacheStats { return p.plans.Stats() }
 
 // AuditStats snapshots the runtime verdict-audit counters; the zero
 // value when auditing is disabled.
@@ -397,5 +429,6 @@ func reportFromResult(r core.Result) Report {
 		Degraded:      r.Degraded,
 		FallbackChain: r.FallbackChain,
 		Err:           r.Err,
+		Plan:          r.Plan,
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"xqindep/internal/eval"
 	"xqindep/internal/guard"
 	"xqindep/internal/infer"
+	"xqindep/internal/plan"
 	"xqindep/internal/preserve"
 	"xqindep/internal/xmltree"
 	"xqindep/internal/xquery"
@@ -127,6 +128,11 @@ func (cs *CompiledSchema) RecursiveTypes() int { return cs.c.RecursiveCount() }
 // counters; the analysis server exposes the same numbers on /statz.
 func CompileCacheStats() dtd.CacheStats { return dtd.CompileCacheStats() }
 
+// SharedPlanStats reports the process-wide prepared-plan cache used by
+// AnalyzeContext when no explicit cache is configured. Pools maintain
+// their own caches; see Pool.PlanStats.
+func SharedPlanStats() plan.CacheStats { return plan.Shared().Stats() }
+
 // Query is a parsed query of the supported XQuery fragment.
 type Query struct {
 	ast xquery.Query
@@ -158,6 +164,11 @@ func (q *Query) String() string { return q.src }
 // Core returns the desugared core-fragment form.
 func (q *Query) Core() string { return q.ast.String() }
 
+// Fingerprint returns a stable content hash of the desugared query:
+// sugared variants and whitespace differences of the same logical
+// query share it. It is one half of the prepared-plan cache key.
+func (q *Query) Fingerprint() string { return xquery.FingerprintQuery(q.ast) }
+
 // Update is a parsed update of the supported XQuery Update Facility
 // fragment.
 type Update struct {
@@ -188,6 +199,17 @@ func (u *Update) String() string { return u.src }
 
 // Core returns the desugared core-fragment form.
 func (u *Update) Core() string { return u.ast.String() }
+
+// Fingerprint returns a stable content hash of the desugared update;
+// see Query.Fingerprint.
+func (u *Update) Fingerprint() string { return xquery.FingerprintUpdate(u.ast) }
+
+// PairFingerprint returns the content hash of the (query, update)
+// pair, the second component of the prepared-plan cache key (the first
+// is the schema fingerprint).
+func PairFingerprint(q *Query, u *Update) string {
+	return xquery.FingerprintPair(q.ast, u.ast)
+}
 
 // Method selects the analysis technique.
 type Method = core.Method
@@ -254,6 +276,11 @@ type Report struct {
 	// Err is the budget error that forced the first degradation (set
 	// when Degraded; wraps ErrBudgetExceeded).
 	Err error
+	// Plan reports prepared-plan provenance for chain verdicts: "warm"
+	// when the verdict was served from a cached compiled plan, "cold"
+	// when this request built (and cached) the plan. Empty for methods
+	// that do not go through the plan pipeline.
+	Plan string
 }
 
 // Independent runs the default chain analysis and reports the verdict.
