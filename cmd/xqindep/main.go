@@ -22,6 +22,12 @@
 // plan or a cold build, plus the content fingerprints the plan cache
 // keys on — sugared variants of the same logical pair share them.
 //
+// -trace prints the per-phase span tree of the analysis after the
+// verdict: ladder rungs as spans, the engine's fault-point boundaries
+// (plan pipeline stages, inference, conflict check) as phase marks
+// with the budget's node/chain consumption at each. It is the one-shot
+// form of the daemon's /tracez.
+//
 // -audit re-derives an Independent verdict on independent machinery —
 // the reference chain engine plus a dynamic-oracle replay on generated
 // documents — exactly as the daemon's runtime audit lane would. It is
@@ -45,6 +51,7 @@ import (
 
 	"xqindep"
 	"xqindep/internal/core"
+	"xqindep/internal/obs"
 	"xqindep/internal/quarantine"
 	"xqindep/internal/sentinel"
 	"xqindep/internal/xquery"
@@ -71,6 +78,7 @@ func run() int {
 		lint        = flag.Bool("lint", false, "warn when the query or update matches zero chains under the schema (usually a path typo)")
 		audit       = flag.Bool("audit", false, "re-derive an Independent verdict on the audit machinery (shadow engine + dynamic oracle); exit 4 on disagreement")
 		showPlan    = flag.Bool("show-plan", false, "print prepared-plan provenance (warm/cold) and the fingerprints the plan cache keys on")
+		traceF      = flag.Bool("trace", false, "print the per-phase span trace of the analysis (ladder rungs, plan pipeline stages, engine phase marks)")
 	)
 	flag.Parse()
 	if *schemaFile == "" || *updateText == "" || (*queryText == "" && *update2Text == "") {
@@ -154,6 +162,11 @@ func run() int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var tr *obs.Trace
+	if *traceF {
+		tr = obs.NewTrace(time.Now)
+		ctx = obs.NewContext(ctx, tr)
+	}
 
 	independent := true
 	degraded := false
@@ -190,6 +203,10 @@ func run() int {
 	if *showPlan {
 		fmt.Printf("\nplan cache key:\n  schema  %s\n  query   %s\n  update  %s\n  pair    %s\n",
 			schema.Fingerprint(), q.Fingerprint(), u.Fingerprint(), xqindep.PairFingerprint(q, u))
+	}
+	if tr != nil {
+		fmt.Println("\ntrace:")
+		obs.WriteTree(os.Stdout, tr.Finish())
 	}
 	if *explain || *lint {
 		ev, err := schema.ExplainChains(q, u)

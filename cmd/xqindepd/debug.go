@@ -1,0 +1,27 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// serveDebug runs the opt-in debug listener (-debug-addr): the
+// net/http/pprof profiling surface on its own mux and its own port, so
+// profiling never shares a listener with the public API and the
+// default-off posture costs the serving path nothing. A failed listen
+// is reported and the daemon keeps serving — profiling is an aid, not
+// a dependency.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "xqindepd: debug (pprof) on %s\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "xqindepd: debug listener:", err)
+	}
+}

@@ -14,11 +14,18 @@
 //	}'
 //
 // Endpoints: POST /analyze (JSON in/out), GET /healthz (liveness),
-// GET /readyz (readiness: 503 while draining), GET /statz (counters),
+// GET /readyz (readiness: 503 while draining), GET /statz (counters
+// and latency digests), GET /metricz (Prometheus text exposition),
+// GET /tracez (the -trace-ring slowest request traces as span trees),
 // GET /incidentz (audit incidents and quarantine state). Verdicts
 // answer 200 (degraded, breaker-served and quarantine-served verdicts
 // included); 400 malformed input, 429 shed by admission control, 503
 // draining. 429/503 responses carry a Retry-After hint.
+//
+// A request with "trace": true gets its own span tree back in the
+// response's "trace" field, whether or not the ring is enabled. With
+// -debug-addr the daemon additionally serves net/http/pprof on a
+// separate listener (keep it off public interfaces).
 //
 // Repeated (schema, query, update) pairs are served from a bounded
 // prepared-plan cache keyed on content fingerprints (size set by
@@ -100,6 +107,8 @@ func run() int {
 		stateDir    = flag.String("state-dir", "", "durable state directory: quarantine decisions and audit incidents survive restarts (empty disables)")
 		memMark     = flag.Uint64("mem-watermark", 0, "shed admissions while heap usage exceeds this many bytes (0 disables)")
 		planCache   = flag.Int("plan-cache", 0, "resident prepared-plan bound; repeated (schema, query, update) pairs reuse the compiled analysis (0 = 4096, negative disables reuse)")
+		traceRing   = flag.Int("trace-ring", 64, "retain the N slowest request traces for GET /tracez (0 disables)")
+		debugAddr   = flag.String("debug-addr", "", "opt-in debug listener serving net/http/pprof (keep it off public interfaces; empty disables)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -157,6 +166,7 @@ func run() int {
 		MemoryWatermark: *memMark,
 		StateDir:        *stateDir,
 		PlanCacheSize:   *planCache,
+		TraceRing:       *traceRing,
 	}
 	if spool != nil {
 		opts.AuditSpool = spool
@@ -184,6 +194,10 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
 
 	if *batch {
 		err := pool.RunBatch(ctx, os.Stdin, os.Stdout, defaultSchema)

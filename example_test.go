@@ -1,0 +1,57 @@
+package xqindep_test
+
+import (
+	"context"
+	"fmt"
+
+	"xqindep"
+)
+
+// The one-shot form: parse the schema and the pair, run the default
+// chain analysis, act on the report. An Independent=true verdict is a
+// proof — executing the update can never change the query's result on
+// any document valid for the schema — so a view-maintenance caller can
+// skip re-materialisation outright.
+func Example() {
+	schema := xqindep.MustParseSchema(
+		"bib <- book*\nbook <- (title, author*)\ntitle <- #PCDATA\nauthor <- #PCDATA")
+	q := xqindep.MustParseQuery("//title")
+	u := xqindep.MustParseUpdate("for $x in //book return insert <author/> into $x")
+
+	rep, err := schema.Analyze(q, u, xqindep.Chains)
+	if err != nil {
+		fmt.Println("analyze:", err)
+		return
+	}
+	fmt.Printf("independent=%v method=%s k=%d\n", rep.Independent, rep.Method, rep.K)
+	// Output: independent=true method=chains k=4
+}
+
+// The serving form: a pool runs analyses through admission control on
+// a bounded worker set and reuses prepared plans across requests — the
+// second analysis of the same logical pair is served from the plan
+// cache ("warm") without re-running the inference pipeline. Pools must
+// be closed to release their workers.
+func ExampleNewPool() {
+	pool := xqindep.NewPool(xqindep.PoolOptions{Workers: 2})
+	defer pool.Close()
+
+	schema := xqindep.MustParseSchema(
+		"bib <- book*\nbook <- (title, author*)\ntitle <- #PCDATA\nauthor <- #PCDATA")
+	q := xqindep.MustParseQuery("//title")
+	u := xqindep.MustParseUpdate("for $x in //book return insert <author/> into $x")
+
+	first, err := pool.Analyze(context.Background(), schema, q, u, xqindep.Chains, xqindep.Options{})
+	if err != nil {
+		fmt.Println("analyze:", err)
+		return
+	}
+	second, err := pool.Analyze(context.Background(), schema, q, u, xqindep.Chains, xqindep.Options{})
+	if err != nil {
+		fmt.Println("analyze:", err)
+		return
+	}
+	fmt.Printf("independent=%v plan: first=%s second=%s\n",
+		second.Independent, first.Plan, second.Plan)
+	// Output: independent=true plan: first=cold second=warm
+}

@@ -17,6 +17,7 @@ import (
 	"xqindep/internal/dtd"
 	"xqindep/internal/guard"
 	"xqindep/internal/infer"
+	"xqindep/internal/obs"
 	"xqindep/internal/pathanalysis"
 	"xqindep/internal/plan"
 	"xqindep/internal/quarantine"
@@ -52,6 +53,17 @@ var methodNames = map[Method]string{
 	MethodTypes:        "types",
 	MethodPaths:        "paths",
 	MethodConservative: "conservative",
+}
+
+// rungSpanNames precomputes the per-rung trace span names so opening
+// a span never concatenates strings on the hot path (a nil trace must
+// stay allocation-free).
+var rungSpanNames = map[Method]string{
+	MethodChains:       "rung:chains",
+	MethodChainsExact:  "rung:chains-exact",
+	MethodTypes:        "rung:types",
+	MethodPaths:        "rung:paths",
+	MethodConservative: "rung:conservative",
 }
 
 // fallbackLadder orders the methods tried when m exceeds its budget,
@@ -223,7 +235,9 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, q xquery.Query, u xquery.
 	if reg == nil {
 		reg = quarantine.Shared()
 	}
+	tr := obs.FromContext(ctx)
 	if m != MethodConservative && reg.Downgrade(a.D.Fingerprint()) {
+		tr.Mark("core.quarantine", 0, 0)
 		// The fingerprint is quarantined: serve the conservative rung
 		// directly. This is a pure downgrade (Independent=false is
 		// always sound), reported through the same Degraded/Err contract
@@ -251,8 +265,13 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, q xquery.Query, u xquery.
 	var firstBudgetErr error
 	for i, rung := range ladder {
 		attempted = append(attempted, rung)
+		sp := tr.Start(rungSpanNames[rung])
 		res, err := a.analyzeOnce(ctx, rung, q, u, opts.Limits, plans)
 		if err == nil {
+			if res.Plan != "" {
+				sp.Annotate(res.Plan)
+			}
+			sp.End()
 			res.Elapsed = time.Since(start)
 			if i > 0 {
 				res.Degraded = true
@@ -261,6 +280,10 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context, q xquery.Query, u xquery.
 			}
 			return res, nil
 		}
+		if errors.Is(err, guard.ErrBudgetExceeded) {
+			sp.Annotate("budget exceeded")
+		}
+		sp.End()
 		if !errors.Is(err, guard.ErrBudgetExceeded) || i == len(ladder)-1 {
 			// Internal errors, cancellation, malformed input — or a
 			// budget overrun with nowhere left to fall.

@@ -322,19 +322,44 @@ func (b *Budget) CheckK(k int) error {
 	return &LimitError{Resource: "k", Limit: b.lim.MaxK}
 }
 
-// Fault hook. The analysis engines mark their phase boundaries —
-// chain inference, CDAG construction, conflict check, parsing — by
-// calling Point (inside budgeted code) or FirePoint (outside it).
-// In production no hook is installed and a point costs one atomic
-// load; the faultinject package installs a hook during chaos testing
-// to deterministically turn named points into injected budget
-// exhaustion, errors, or panics.
+// Fault and trace hooks. The analysis engines mark their phase
+// boundaries — chain inference, CDAG construction, conflict check,
+// parsing — by calling Point (inside budgeted code) or FirePoint
+// (outside it). In production with both hooks absent a point costs
+// two nil atomic loads; the faultinject package installs the fault
+// hook during chaos testing to deterministically turn named points
+// into injected budget exhaustion, errors, or panics, and the obs
+// package installs the trace hook (once, on first trace) to turn the
+// same points into per-request phase marks.
 
 // FaultHook inspects a named point under the given context and
 // returns a non-nil error to make the point fail.
 type FaultHook func(ctx context.Context, point string) error
 
-var faultHook atomic.Pointer[FaultHook]
+// TraceHook observes a named point under the given context — the
+// observability twin of FaultHook, fired at the same boundaries just
+// before the fault hook so a trace records the phase even when a
+// fault then kills it. nodes and chains snapshot the firing budget's
+// consumption (zero at points outside budgeted code). The hook must
+// not panic and must be cheap: it runs on the analysis hot path.
+type TraceHook func(ctx context.Context, point string, nodes, chains int)
+
+var (
+	faultHook atomic.Pointer[FaultHook]
+	traceHook atomic.Pointer[TraceHook]
+)
+
+// SetTraceHook installs (or, with nil, removes) the process-wide
+// trace hook. Package obs installs it once, lazily, when the first
+// trace is created; until then — and forever on processes that never
+// trace — every point pays exactly one nil atomic load for it.
+func SetTraceHook(h TraceHook) {
+	if h == nil {
+		traceHook.Store(nil)
+		return
+	}
+	traceHook.Store(&h)
+}
 
 // SetFaultHook installs (or, with nil, removes) the process-wide
 // fault hook. Only test harnesses should call this.
@@ -351,6 +376,12 @@ func SetFaultHook(h FaultHook) {
 // hook-injected panic the panic propagates (callers sit behind a
 // Recover boundary or isolate it themselves).
 func FirePoint(ctx context.Context, point string) error {
+	if th := traceHook.Load(); th != nil {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		(*th)(ctx, point, 0, 0)
+	}
 	h := faultHook.Load()
 	if h == nil {
 		return nil
@@ -365,6 +396,9 @@ func FirePoint(ctx context.Context, point string) error {
 // hook-injected error aborts the analysis exactly like a budget
 // overrun (translated back by Recover at the engine boundary).
 func (b *Budget) Point(name string) {
+	if th := traceHook.Load(); th != nil {
+		(*th)(b.Context(), name, b.Nodes(), b.Chains())
+	}
 	h := faultHook.Load()
 	if h == nil {
 		return

@@ -15,9 +15,8 @@ import (
 	"xqindep/internal/core"
 	"xqindep/internal/dtd"
 	"xqindep/internal/guard"
-	"xqindep/internal/plan"
+	"xqindep/internal/obs"
 	"xqindep/internal/quarantine"
-	"xqindep/internal/sentinel"
 	"xqindep/internal/xquery"
 )
 
@@ -41,6 +40,9 @@ type AnalyzeRequest struct {
 	MaxK      int `json:"max_k,omitempty"`
 	// NoFallback turns budget overruns into errors for this request.
 	NoFallback bool `json:"no_fallback,omitempty"`
+	// Trace requests a per-phase span trace of this request; the
+	// finished tree is returned in AnalyzeResponse.Trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // AnalyzeResponse is the wire form of a verdict.
@@ -64,6 +66,9 @@ type AnalyzeResponse struct {
 	// before retrying (mirrored into the HTTP Retry-After header on
 	// 429/503 and breaker-served responses).
 	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+	// Trace is the finished span tree, present when the request set
+	// AnalyzeRequest.Trace.
+	Trace []obs.Span `json:"trace,omitempty"`
 }
 
 // schemaCache memoizes schema text → analyzer so a hot serving loop
@@ -111,10 +116,13 @@ func (c *schemaCache) get(text string) (*core.Analyzer, error) {
 
 // Handler serves the analysis API over HTTP:
 //
-//	POST /analyze  — AnalyzeRequest JSON in, AnalyzeResponse JSON out
-//	GET  /healthz  — liveness (200 while the process runs)
-//	GET  /readyz   — readiness (200 while admitting, 503 draining)
-//	GET  /statz    — JSON server counters
+//	POST /analyze   — AnalyzeRequest JSON in, AnalyzeResponse JSON out
+//	GET  /healthz   — liveness (200 while the process runs)
+//	GET  /readyz    — readiness (200 while admitting, 503 draining)
+//	GET  /statz     — JSON server counters and histogram digests
+//	GET  /metricz   — Prometheus text exposition of the registry
+//	GET  /tracez    — the N slowest request traces (span trees)
+//	GET  /incidentz — audit incident ring and quarantine state
 //
 // Status codes: 200 verdicts (including degraded and breaker-served),
 // 400 malformed input, 429 shed by admission control, 503 draining or
@@ -123,24 +131,42 @@ type Handler struct {
 	srv     *Server
 	schemas *schemaCache
 	mux     *http.ServeMux
+	metrics *handlerMetrics
+	// ring retains the slowest finished traces for /tracez; nil when
+	// Config.TraceRing is zero (then only per-request Trace works).
+	ring *obs.SlowRing
 	// now is the injectable clock behind the latency telemetry
-	// (ElapsedUS); verdicts never depend on it, but injecting it keeps
-	// every wall-clock read in the serving layer test-controllable.
+	// (ElapsedUS, the metrics histograms and trace timestamps);
+	// verdicts never depend on it, but injecting it keeps every
+	// wall-clock read in the serving layer test-controllable.
 	now func() time.Time
 }
 
-// NewHandler builds the HTTP front end of a server.
+// NewHandler builds the HTTP front end of a server. Metric families
+// are registered in s's Config.Metrics registry (a private one when
+// nil) and the slow-trace ring is sized by Config.TraceRing.
 func NewHandler(s *Server) *Handler {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	h := &Handler{
 		srv:     s,
 		schemas: newSchemaCache(0),
 		mux:     http.NewServeMux(),
+		metrics: newHandlerMetrics(reg, s),
 		now:     time.Now, //xqvet:ignore clockinject injectable-clock default; tests and chaos harnesses replace Handler.now
+	}
+	if s.cfg.TraceRing > 0 {
+		h.ring = obs.NewSlowRing(s.cfg.TraceRing)
+		h.metrics.registerRing(h.ring)
 	}
 	h.mux.HandleFunc("POST /analyze", h.handleAnalyze)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
 	h.mux.HandleFunc("GET /readyz", h.handleReadyz)
 	h.mux.HandleFunc("GET /statz", h.handleStatz)
+	h.mux.HandleFunc("GET /metricz", h.handleMetricz)
+	h.mux.HandleFunc("GET /tracez", h.handleTracez)
 	h.mux.HandleFunc("GET /incidentz", h.handleIncidentz)
 	return h
 }
@@ -184,81 +210,6 @@ func setRetryAfter(w http.ResponseWriter, seconds int) {
 	}
 }
 
-// StatzPayload is the /statz response: the server counters plus the
-// process-wide schema-compilation cache counters (every analyzer the
-// schema cache builds resolves its compiled schema through that
-// cache, so hits/misses there measure real recompilation avoided).
-type StatzPayload struct {
-	Server       Stats          `json:"server"`
-	CompileCache dtd.CacheStats `json:"compile_cache"`
-	// PlanCache reports the prepared-plan cache the pool consults
-	// (cfg.Plans, or the process-wide plan.Shared()).
-	PlanCache plan.CacheStats `json:"plan_cache"`
-	// Audit and Quarantine report the runtime verdict-audit layer;
-	// zero-valued when no auditor is wired.
-	Audit      sentinel.Stats   `json:"audit"`
-	Quarantine quarantine.Stats `json:"quarantine"`
-	// Durability reports the crash-safe state layer (journal, snapshot,
-	// incident spool); nil when the daemon runs without -state-dir.
-	Durability *DurabilityStatus `json:"durability,omitempty"`
-}
-
-// quarantineRegistry resolves the registry the pool consults.
-func (h *Handler) quarantineRegistry() *quarantine.Registry {
-	if h.srv.cfg.Quarantine != nil {
-		return h.srv.cfg.Quarantine
-	}
-	return quarantine.Shared()
-}
-
-// planCache resolves the prepared-plan cache the pool consults.
-func (h *Handler) planCache() *plan.Cache {
-	if h.srv.cfg.Plans != nil {
-		return h.srv.cfg.Plans
-	}
-	return plan.Shared()
-}
-
-func (h *Handler) handleStatz(w http.ResponseWriter, r *http.Request) {
-	p := StatzPayload{
-		Server:       h.srv.Stats(),
-		CompileCache: dtd.CompileCacheStats(),
-		PlanCache:    h.planCache().Stats(),
-		Quarantine:   h.quarantineRegistry().Stats(),
-	}
-	if a := h.srv.cfg.Auditor; a != nil {
-		p.Audit = a.Stats()
-	}
-	if ds := h.srv.cfg.State; ds != nil {
-		st := ds.Status()
-		p.Durability = &st
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(p)
-}
-
-// IncidentzPayload is the /incidentz response: the audit incident ring
-// plus the quarantine registry snapshot that explains the containment
-// currently in force.
-type IncidentzPayload struct {
-	Audit      sentinel.Stats      `json:"audit"`
-	Quarantine quarantine.Stats    `json:"quarantine"`
-	Incidents  []sentinel.Incident `json:"incidents"`
-}
-
-func (h *Handler) handleIncidentz(w http.ResponseWriter, r *http.Request) {
-	p := IncidentzPayload{
-		Quarantine: h.quarantineRegistry().Stats(),
-		Incidents:  []sentinel.Incident{},
-	}
-	if a := h.srv.cfg.Auditor; a != nil {
-		p.Audit = a.Stats()
-		p.Incidents = a.Incidents()
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(p)
-}
-
 func (h *Handler) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	body := http.MaxBytesReader(w, r.Body, 16<<20)
@@ -277,11 +228,58 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// truncate bounds a source text for trace-ring retention.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
 // Analyze runs one wire-form request through parsing (with fault
 // points at every parser boundary) and the pool, returning the wire
 // response and the HTTP status it maps to. It is the shared core of
 // the HTTP endpoint and the batch line protocol.
+//
+// Observability happens here so both fronts get it: the latency,
+// outcome, verdict and plan-provenance metrics record every request,
+// and a span trace is recorded when the request asked for one
+// (req.Trace) or the slow-trace ring is on. An untraced request
+// allocates nothing for tracing — no trace object, no context value.
 func (h *Handler) Analyze(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, int) {
+	start := h.now()
+	var tr *obs.Trace
+	if req.Trace || h.ring != nil {
+		tr = obs.NewTrace(h.now)
+		ctx = obs.NewContext(ctx, tr)
+	}
+	root := tr.Start("serve")
+	resp, code := h.doAnalyze(ctx, req)
+	root.End()
+	elapsed := h.now().Sub(start)
+	outcome := h.metrics.record(resp, code, elapsed)
+	if tr != nil {
+		spans := tr.Finish()
+		if req.Trace {
+			resp.Trace = spans
+		}
+		h.ring.Add(obs.RingEntry{
+			When:    start,
+			TotalUS: elapsed.Microseconds(),
+			Schema:  resp.Schema,
+			Query:   truncate(req.Query, 200),
+			Update:  truncate(req.Update, 200),
+			Method:  resp.Method,
+			Plan:    resp.Plan,
+			Outcome: outcome,
+			Spans:   spans,
+		})
+	}
+	return resp, code
+}
+
+// doAnalyze is the uninstrumented request path shared by Analyze.
+func (h *Handler) doAnalyze(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, int) {
 	start := h.now()
 	fail := func(code int, format string, args ...any) (AnalyzeResponse, int) {
 		return AnalyzeResponse{

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xqindep/internal/obs"
+	"xqindep/internal/plan"
+)
+
+// A schema no other test uses, so its plan-cache behaviour here is
+// deterministic.
+const obsSchema = "store <- item*\nitem <- (name, cost?)\nname <- #PCDATA\ncost <- #PCDATA"
+
+func obsHandler(t *testing.T, ringSize int) *Handler {
+	t.Helper()
+	s := New(Config{Workers: 1, Plans: plan.NewCache(16), TraceRing: ringSize})
+	t.Cleanup(func() { s.Close() })
+	h := NewHandler(s)
+	frozen := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	h.now = func() time.Time { return frozen }
+	return h
+}
+
+func obsAnalyze(t *testing.T, h *Handler, req AnalyzeRequest) AnalyzeResponse {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("POST", "/analyze", bytes.NewReader(body)))
+	if rw.Code != 200 {
+		t.Fatalf("POST /analyze = %d: %s", rw.Code, rw.Body.String())
+	}
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(rw.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding verdict: %v", err)
+	}
+	return resp
+}
+
+// /metricz under a frozen clock: every latency observation is exactly
+// zero seconds, so the handler-recorded families have fully
+// deterministic bucket counts — golden-assert them line by line. (The
+// scrape-bridged families read process-global caches, so only their
+// presence is asserted.)
+func TestMetriczFrozenClock(t *testing.T) {
+	h := obsHandler(t, 0)
+	req := AnalyzeRequest{Schema: obsSchema, Query: "//name", Update: "delete //cost"}
+	r1 := obsAnalyze(t, h, req)
+	if r1.ElapsedUS != 0 {
+		t.Errorf("frozen clock but elapsed_us = %d; handler read ambient time", r1.ElapsedUS)
+	}
+	if r1.Plan != "cold" {
+		t.Fatalf("first analysis plan = %q, want cold", r1.Plan)
+	}
+	r2 := obsAnalyze(t, h, req)
+	if r2.Plan != "warm" {
+		t.Fatalf("repeat analysis plan = %q, want warm", r2.Plan)
+	}
+
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/metricz", nil))
+	if rw.Code != 200 {
+		t.Fatalf("GET /metricz = %d", rw.Code)
+	}
+	if ct := rw.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain exposition", ct)
+	}
+	out := rw.Body.String()
+
+	verdict := "dependent"
+	if r1.Independent {
+		verdict = "independent"
+	}
+	exact := []string{
+		"# TYPE " + MetricRequestLatency + " histogram",
+		MetricRequestLatency + `_bucket{le="5e-05"} 2`, // 0s observations land in the first bucket
+		MetricRequestLatency + "_sum 0",
+		MetricRequestLatency + "_count 2",
+		MetricRungLatency + `_count{rung="chains"} 2`,
+		MetricRequests + `{outcome="ok"} 2`,
+		MetricRequests + `{outcome="bad_request"} 0`,
+		fmt.Sprintf("%s{verdict=%q} 2", MetricVerdicts, verdict),
+		MetricPlanRequests + `{provenance="cold"} 1`,
+		MetricPlanRequests + `{provenance="warm"} 1`,
+	}
+	for _, line := range exact {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("/metricz missing exact line %q", line)
+		}
+	}
+	// Bridged families: presence (their values track process-global
+	// state other tests share).
+	for _, fam := range []string{
+		MetricPoolAdmitted, MetricPoolCompleted, MetricPoolInflight,
+		MetricBreakerTrips, MetricCompileCacheHits, MetricCompileCacheResident,
+		MetricPlanCacheHits, MetricPlanCacheResident,
+		MetricQuarantineTrips, MetricQuarantined,
+	} {
+		if !strings.Contains(out, "# TYPE "+fam+" ") {
+			t.Errorf("/metricz missing family %s", fam)
+		}
+	}
+
+	// /statz carries the same histograms as quantile digests.
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/statz", nil))
+	var p StatzPayload
+	if err := json.Unmarshal(rw.Body.Bytes(), &p); err != nil {
+		t.Fatalf("decoding /statz: %v", err)
+	}
+	found := false
+	for _, s := range p.Metrics {
+		if s.Name == MetricRequestLatency && s.Count == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/statz metrics digest missing %s count 2: %+v", MetricRequestLatency, p.Metrics)
+	}
+}
+
+// /tracez serves the ring slowest-first with exact eviction
+// accounting, and a traced request returns its span tree (root span,
+// parse marks, ladder rung) in the response.
+func TestTracezRingAndRequestTrace(t *testing.T) {
+	h := obsHandler(t, 2)
+
+	resp := obsAnalyze(t, h, AnalyzeRequest{Schema: obsSchema, Query: "//name", Update: "delete //cost", Trace: true})
+	if len(resp.Trace) == 0 {
+		t.Fatal("trace requested but response carries no spans")
+	}
+	names := make(map[string]bool)
+	for _, sp := range resp.Trace {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"serve", "parse.schema", "parse.query", "parse.update", "rung:chains", "core.analyze", "core.verdict"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, resp.Trace)
+		}
+	}
+	if resp.Trace[0].Name != "serve" || resp.Trace[0].Depth != 0 {
+		t.Errorf("trace root = %+v, want the serve span at depth 0", resp.Trace[0])
+	}
+
+	// Synthetic entries pin the eviction order deterministically (the
+	// real request above recorded 0µs under the frozen clock).
+	h.ring.Add(obs.RingEntry{TotalUS: 100, Outcome: "ok"})
+	h.ring.Add(obs.RingEntry{TotalUS: 300, Outcome: "ok"})
+	h.ring.Add(obs.RingEntry{TotalUS: 200, Outcome: "ok"})
+
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/tracez", nil))
+	if rw.Code != 200 {
+		t.Fatalf("GET /tracez = %d", rw.Code)
+	}
+	var p TracezPayload
+	if err := json.Unmarshal(rw.Body.Bytes(), &p); err != nil {
+		t.Fatalf("decoding /tracez: %v", err)
+	}
+	if p.Ring.Capacity != 2 || p.Ring.Held != 2 {
+		t.Errorf("ring status = %+v, want capacity 2 held 2", p.Ring)
+	}
+	if p.Ring.Added != 4 || p.Ring.Evicted != 2 {
+		t.Errorf("ring accounting = %+v, want added 4 evicted 2 (real trace + 3 synthetic)", p.Ring)
+	}
+	if len(p.Slowest) != 2 || p.Slowest[0].TotalUS != 300 || p.Slowest[1].TotalUS != 200 {
+		t.Errorf("slowest = %+v, want [300 200]µs", p.Slowest)
+	}
+}
+
+// With the ring off, /tracez still answers (empty), and an untraced
+// request carries no trace.
+func TestTracezDisabled(t *testing.T) {
+	h := obsHandler(t, 0)
+	resp := obsAnalyze(t, h, AnalyzeRequest{Schema: obsSchema, Query: "//name", Update: "delete //cost"})
+	if resp.Trace != nil {
+		t.Errorf("untraced request returned spans: %+v", resp.Trace)
+	}
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/tracez", nil))
+	if rw.Code != 200 {
+		t.Fatalf("GET /tracez = %d", rw.Code)
+	}
+	var p TracezPayload
+	if err := json.Unmarshal(rw.Body.Bytes(), &p); err != nil {
+		t.Fatalf("decoding /tracez: %v", err)
+	}
+	if p.Ring.Capacity != 0 || len(p.Slowest) != 0 {
+		t.Errorf("disabled ring payload = %+v, want empty", p)
+	}
+}
+
+// The observability layer's per-request overhead with tracing off is
+// the metrics record call — it must not allocate at all, from any
+// number of concurrent workers.
+func TestRecordAllocFreeAndConcurrent(t *testing.T) {
+	h := obsHandler(t, 0)
+	resp := AnalyzeResponse{Independent: true, Method: "chains", Plan: "warm"}
+	if n := testing.AllocsPerRun(1000, func() {
+		h.metrics.record(resp, 200, time.Millisecond)
+	}); n != 0 {
+		t.Errorf("metrics record allocates %v per request, want 0", n)
+	}
+	base := h.metrics.latency.Count()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i := 0; i < 500; i++ {
+				h.metrics.record(resp, 200, time.Millisecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if got := h.metrics.latency.Count(); got != base+2000 {
+		t.Errorf("latency count = %d after 2000 concurrent records over %d, lost updates", got, base)
+	}
+}

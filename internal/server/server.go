@@ -57,6 +57,7 @@ import (
 	"xqindep/internal/core"
 	"xqindep/internal/faultinject"
 	"xqindep/internal/guard"
+	"xqindep/internal/obs"
 	"xqindep/internal/plan"
 	"xqindep/internal/quarantine"
 	"xqindep/internal/sentinel"
@@ -131,6 +132,14 @@ type Config struct {
 	// journal + incident spool). The server flushes it during drain —
 	// bounded by the drain deadline — and reports it under /statz.
 	State *DurableState
+	// Metrics is the registry NewHandler registers its metric families
+	// in (served on /metricz); nil gives the handler a private one.
+	// Supply a registry to add your own families to the same scrape.
+	Metrics *obs.Registry
+	// TraceRing sizes the handler's ring of slowest request traces
+	// (served on /tracez). Zero disables the ring; per-request traces
+	// (AnalyzeRequest.Trace) work either way.
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -497,6 +506,7 @@ func (s *Server) process(j *job) {
 	s.breakers.record(j.fp, outcome, j.probe)
 
 	if s.cfg.Auditor != nil && j.err == nil {
+		obs.FromContext(j.ctx).Mark("audit.observe", 0, 0)
 		var sched string
 		if sc := faultinject.FromContext(j.ctx); sc != nil {
 			sched = sc.String()

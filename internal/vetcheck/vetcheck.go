@@ -159,7 +159,7 @@ func DefaultConfig() Config {
 		ClockPackages: set(
 			"internal/server", "internal/faultinject",
 			"internal/quarantine", "internal/sentinel",
-			"internal/statefile",
+			"internal/statefile", "internal/obs",
 		),
 		FSPackages:   set("internal/statefile"),
 		FSAllowFiles: set("osfs.go"),

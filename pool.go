@@ -103,6 +103,10 @@ type PoolOptions struct {
 	// cache so that an audit-lane quarantine purges exactly the plans
 	// this pool built for the offending schema.
 	PlanCacheSize int
+	// TraceRing sizes the HTTP front end's ring of the slowest request
+	// traces, served on GET /tracez (0 disables the ring). Per-request
+	// traces — "trace": true in an analyze request — work either way.
+	TraceRing int
 }
 
 // PoolStats snapshots the pool counters.
@@ -148,6 +152,7 @@ func NewPool(o PoolOptions) *Pool {
 		DrainTimeout:    o.DrainTimeout,
 		MemoryWatermark: o.MemoryWatermark,
 		Plans:           p.plans,
+		TraceRing:       o.TraceRing,
 		Breaker: server.BreakerConfig{
 			Threshold:  o.BreakerThreshold,
 			Backoff:    o.BreakerBackoff,
@@ -346,8 +351,11 @@ func (p *Pool) QuarantineState(s *Schema) string {
 	return p.reg.State(s.Fingerprint())
 }
 
-// Handler returns the pool's HTTP front end: POST /analyze,
-// GET /healthz, /readyz and /statz (see cmd/xqindepd).
+// Handler returns the pool's HTTP front end: POST /analyze plus the
+// operations surface — GET /healthz, /readyz, /statz, /metricz
+// (Prometheus text format), /tracez (slowest request traces) and
+// /incidentz. See cmd/xqindepd and the README's "Operating xqindepd"
+// section for the endpoint and metric reference.
 func (p *Pool) Handler() http.Handler { return p.h }
 
 // RunBatch runs the stdin line protocol over the pool: one analyze
